@@ -1,0 +1,76 @@
+// Command irrdiff compares two IRR snapshot directories and reports
+// what changed: aut-num and set churn, policy edits, and route-object
+// turnover — the longitudinal tooling the paper's conclusion proposes
+// for tracking RPSL usage over time.
+//
+// Usage:
+//
+//	irrdiff -old snapshots/2023-06 -new snapshots/2023-07 [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/evolve"
+	"rpslyzer/internal/ir"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irrdiff: ")
+	var (
+		oldDir  = flag.String("old", "", "directory with the older *.db dumps")
+		newDir  = flag.String("new", "", "directory with the newer *.db dumps")
+		verbose = flag.Bool("v", false, "list individual changed objects")
+	)
+	flag.Parse()
+	if *oldDir == "" || *newDir == "" {
+		log.Fatal("both -old and -new are required")
+	}
+
+	oldIR, _, err := core.LoadDumpDir(*oldDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newIR, _, err := core.LoadDumpDir(*newDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := evolve.Compare(oldIR, newIR)
+	fmt.Print(d.Summary())
+	if d.Empty() {
+		fmt.Println("snapshots are identical")
+		return
+	}
+	if *verbose {
+		for _, a := range d.AddedAutNums {
+			fmt.Printf("+ aut-num %s\n", a)
+		}
+		for _, a := range d.RemovedAutNums {
+			fmt.Printf("- aut-num %s\n", a)
+		}
+		for _, a := range d.PolicyChanged {
+			fmt.Printf("~ policy %s\n", a)
+		}
+		for _, s := range d.AddedAsSets {
+			fmt.Printf("+ as-set %s\n", s)
+		}
+		for _, s := range d.RemovedAsSets {
+			fmt.Printf("- as-set %s\n", s)
+		}
+		for _, s := range d.ChangedAsSets {
+			fmt.Printf("~ as-set %s\n", s)
+		}
+	}
+
+	pts := evolve.Series([]string{*oldDir, *newDir}, []*ir.IR{oldIR, newIR})
+	fmt.Println("\nadoption series:")
+	for _, p := range pts {
+		fmt.Printf("  %-24s aut-nums=%d with-rules=%d rules=%d routes=%d as-sets=%d route-sets=%d\n",
+			p.Label, p.AutNums, p.WithRules, p.Rules, p.Routes, p.AsSets, p.RouteSets)
+	}
+}

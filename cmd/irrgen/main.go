@@ -1,0 +1,53 @@
+// Command irrgen generates the synthetic universe: an AS topology, the
+// 13 IRR dumps, the ground-truth AS-relationship file (CAIDA format),
+// and the BGP route dumps observed by the collectors.
+//
+// Usage:
+//
+//	irrgen -out data/ -ases 2000 -collectors 20 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rpslyzer/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irrgen: ")
+	var (
+		out        = flag.String("out", "data", "output directory")
+		ases       = flag.Int("ases", 2000, "number of ASes in the topology")
+		collectors = flag.Int("collectors", 20, "number of BGP collectors")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+		writeMRT   = flag.Bool("mrt", false, "also write routes.mrt in MRT TABLE_DUMP_V2 format")
+	)
+	flag.Parse()
+
+	sys, err := core.BuildSynthetic(core.Options{Seed: *seed, ASes: *ases})
+	if err != nil {
+		log.Fatal(err)
+	}
+	routes := sys.CollectRoutes(*collectors, *seed)
+	if err := core.WriteUniverse(sys, routes, *out); err != nil {
+		log.Fatal(err)
+	}
+	if *writeMRT {
+		if err := core.WriteRoutesMRT(filepath.Join(*out, "routes.mrt"), routes); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stdout, "wrote %d IRR dumps, as-rel.txt, and %d routes to %s\n",
+		len(sys.DumpSizes), len(routes), *out)
+	var total int64
+	for _, sz := range sys.DumpSizes {
+		total += sz
+	}
+	fmt.Fprintf(os.Stdout, "total dump size: %.1f MiB; ASes: %d; aut-nums: %d; route objects: %d\n",
+		float64(total)/(1<<20), len(sys.Topo.Order), len(sys.IR.AutNums), len(sys.IR.Routes))
+}

@@ -1,0 +1,98 @@
+// Command rpslyzer parses IRR dumps into the intermediate
+// representation (IR) and exports it as JSON, mirroring the paper's
+// core tool: "RPSLyzer converts RPSL objects into an intermediate
+// representation that captures their meanings ... and can export it to
+// JSON files for integration with other tools".
+//
+// Usage:
+//
+//	rpslyzer -dumps data/ -o ir.json
+//	rpslyzer -dumps data/ -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/render"
+	"rpslyzer/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpslyzer: ")
+	var (
+		dumps     = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		out       = flag.String("o", "", "write IR JSON to this file ('-' for stdout)")
+		renderDir = flag.String("render", "", "re-emit the parsed IR as canonical RPSL dumps into this directory")
+		summary   = flag.Bool("summary", true, "print a parse summary")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	x, sizes, err := core.LoadDumpDir(*dumps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *summary {
+		var totalBytes int64
+		for _, sz := range sizes {
+			totalBytes += sz
+		}
+		routes := 0
+		for _, classes := range x.Counts {
+			routes += classes["route"] + classes["route6"]
+		}
+		fmt.Printf("parsed %.1f MiB across %d IRRs in %v\n",
+			float64(totalBytes)/(1<<20), len(sizes), elapsed.Round(time.Millisecond))
+		fmt.Printf("aut-nums: %d  as-sets: %d  route-sets: %d  peering-sets: %d  filter-sets: %d  route objects: %d\n",
+			len(x.AutNums), len(x.AsSets), len(x.RouteSets), len(x.PeeringSets), len(x.FilterSets), len(x.Routes))
+		census := stats.ErrorCensus(x)
+		fmt.Printf("errors: %d syntax, %d invalid as-set names, %d invalid route-set names\n",
+			census["syntax"], census["invalid-as-set-name"], census["invalid-route-set-name"])
+	}
+
+	if *renderDir != "" {
+		if err := os.MkdirAll(*renderDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		texts := render.IR(x)
+		for src, text := range texts {
+			name := strings.ToLower(src)
+			if name == "" {
+				name = "unknown"
+			}
+			path := filepath.Join(*renderDir, name+".db")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("rendered %d canonical dumps to %s\n", len(texts), *renderDir)
+	}
+
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := x.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "-" {
+			fmt.Printf("wrote IR to %s\n", *out)
+		}
+	}
+}

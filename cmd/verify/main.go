@@ -1,0 +1,147 @@
+// Command verify checks BGP routes against RPSL policies (the paper's
+// Section 5 pipeline): it loads IRR dumps, an AS-relationship file,
+// and a BGP route dump, verifies every AS pair on every route, and
+// prints the aggregate statuses. With -report it prints the per-hop
+// Appendix C-style report for each route.
+//
+// Usage:
+//
+//	verify -dumps data/ -rels data/as-rel.txt -routes data/routes.txt
+//	verify -dumps data/ -rels data/as-rel.txt -route "103.162.114.0/23|3257 1299 6939" -report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/report"
+	"rpslyzer/internal/verify"
+)
+
+// jsonRouteReport is the JSON-lines record for one route.
+type jsonRouteReport struct {
+	Prefix  string         `json:"prefix"`
+	Path    []uint32       `json:"path"`
+	Ignored string         `json:"ignored,omitempty"`
+	Checks  []verify.Check `json:"checks,omitempty"`
+}
+
+func jsonReport(rep verify.RouteReport) jsonRouteReport {
+	out := jsonRouteReport{
+		Prefix:  rep.Route.Prefix.String(),
+		Ignored: rep.Ignored,
+		Checks:  rep.Checks,
+	}
+	for _, a := range rep.Route.Path {
+		out.Path = append(out.Path, uint32(ir.ASN(a)))
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("verify: ")
+	var (
+		dumps     = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		relsPath  = flag.String("rels", "data/as-rel.txt", "CAIDA-format AS relationship file")
+		routes    = flag.String("routes", "data/routes.txt", "BGP route dump file")
+		oneRoute  = flag.String("route", "", "verify a single 'prefix|asn asn ...' route instead")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
+		printRep  = flag.Bool("report", false, "print per-hop reports")
+		jsonOut   = flag.String("json", "", "write per-route reports as JSON lines to this file ('-' for stdout)")
+		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
+		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
+	)
+	flag.Parse()
+
+	x, _, err := core.LoadDumpDir(*dumps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rels, err := core.LoadRels(*relsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, verifier := core.BuildFromIR(x, rels, verify.Config{
+		SkipComplexRegex: *paperMode,
+		EnableRouteCache: *useCache,
+	})
+
+	var rts []bgpsim.Route
+	if *oneRoute != "" {
+		rts, err = bgpsim.ReadDump(strings.NewReader(*oneRoute))
+	} else {
+		rts, err = core.LoadRoutes(*routes)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var jsonEnc *json.Encoder
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		jsonEnc = json.NewEncoder(w)
+	}
+
+	start := time.Now()
+	agg := report.NewAggregator()
+	if *printRep || jsonEnc != nil {
+		agg.KeepRouteMixes = false
+		for _, r := range rts {
+			rep := verifier.VerifyRoute(r)
+			agg.Add(rep)
+			if jsonEnc != nil {
+				if err := jsonEnc.Encode(jsonReport(rep)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if *printRep {
+				fmt.Printf("route %s via %v\n", r.Prefix, r.Path)
+				for _, c := range rep.Checks {
+					fmt.Printf("  %s\n", c)
+				}
+				if rep.Ignored != "" {
+					fmt.Printf("  (ignored: %s)\n", rep.Ignored)
+				}
+			}
+		}
+	} else {
+		verifier.VerifyStream(rts, *workers, agg.Add)
+	}
+	elapsed := time.Since(start)
+
+	total := agg.Checks.Total()
+	fr := agg.Checks.Fractions()
+	fmt.Printf("verified %d routes (%d checks) in %v (%.0f routes/s, %d workers)\n",
+		agg.Routes, total, elapsed.Round(time.Millisecond),
+		float64(agg.Routes)/elapsed.Seconds(), *workers)
+	fmt.Printf("ignored: %d AS-set routes, %d single-AS routes\n", agg.IgnoredASSet, agg.IgnoredSingleAS)
+	for st := verify.Verified; st <= verify.Unverified; st++ {
+		fmt.Printf("  %-11s %9d  (%.2f%%)\n", st, agg.Checks[st], 100*fr[st])
+	}
+	fh := agg.FirstHop.Fractions()
+	fmt.Printf("first hop (origin-side, where filtering best prevents leaks/hijacks):\n")
+	fmt.Printf("  verified=%.2f%% unrecorded=%.2f%% relaxed=%.2f%% safelisted=%.2f%% unverified=%.2f%%\n",
+		100*fh[verify.Verified], 100*fh[verify.Unrecorded], 100*fh[verify.Relaxed],
+		100*fh[verify.Safelisted], 100*fh[verify.Unverified])
+	if *useCache {
+		fmt.Printf("route cache hits: %d\n", verifier.CacheHits())
+	}
+}

@@ -1,0 +1,49 @@
+// Command whoisd serves RPSL objects from parsed IRR dumps over the
+// classic whois one-query-per-connection protocol.
+//
+// Usage:
+//
+//	whoisd -dumps data/ -listen 127.0.0.1:4343
+//	whois -h 127.0.0.1 -p 4343 AS64500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/whois"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whoisd: ")
+	var (
+		dumps  = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		listen = flag.String("listen", "127.0.0.1:4343", "listen address")
+	)
+	flag.Parse()
+
+	x, _, err := core.LoadDumpDir(*dumps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := whois.NewServer(irr.New(x))
+	if err := srv.Listen(*listen); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d aut-nums, %d route objects on %s\n",
+		len(x.AutNums), len(x.Routes), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Appendixc reproduces the paper's Appendix C walk-through: the
+// verification report for the route 103.162.114.0/23 with AS-path
+// {3257 1299 6939 133840 56239 141893}, hop by hop, with the same
+// report vocabulary (BadExport, MehImport, UnrecExport, OkImport, ...).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/verify"
+)
+
+// The rules quoted in Appendix C, plus minimal context objects.
+const registry = `
+aut-num:        AS141893
+export:         to AS58552 announce AS141893
+export:         to AS131755 announce AS141893
+source:         APNIC
+
+aut-num:        AS56239
+import:         from AS55685 accept ANY
+export:         to AS133840 announce AS56239
+source:         APNIC
+
+aut-num:        AS133840
+import:         from AS55685 accept ANY
+export:         to AS55685 announce AS133840
+source:         APNIC
+
+aut-num:        AS6939
+import:         from AS-ANY accept ANY
+export:         to AS-ANY announce ANY
+source:         RADB
+
+aut-num:        AS1299
+import:         from AS6939 accept ANY
+export:         to AS-ANY announce AS1299:AS-TWELVE99-CUSTOMER-V4 AS1299:AS-TWELVE99-PEER-V4
+source:         RIPE
+
+aut-num:        AS3257
+import:         from AS12 accept ANY
+source:         RIPE
+
+route:          103.162.114.0/23
+origin:         AS141893
+source:         APNIC
+
+route:          103.139.0.0/24
+origin:         AS56239
+source:         APNIC
+`
+
+func main() {
+	log.SetFlags(0)
+	x := core.ParseText(registry, "IRR")
+
+	// The business relationships Appendix C cites from CAIDA: a
+	// customer chain 141893 < 56239 < 133840 < 6939, the 6939-1299
+	// peering, and the 1299/3257 Tier-1 pair.
+	rels := asrel.New()
+	rels.AddP2C(56239, 141893)
+	rels.AddP2C(133840, 56239)
+	rels.AddP2C(6939, 133840)
+	rels.AddP2C(56239, 137296) // the customer cone member named in the appendix
+	rels.AddP2P(6939, 1299)
+	rels.AddP2P(1299, 3257)
+	rels.SetTier1(1299)
+	rels.SetTier1(3257)
+
+	_, verifier := core.BuildFromIR(x, rels, verify.Config{})
+
+	fmt.Println("verification report for 103.162.114.0/23 via {3257 1299 6939 133840 56239 141893}:")
+	fmt.Println()
+	rep, err := core.VerifyOne(verifier, "103.162.114.0/23", 3257, 1299, 6939, 133840, 56239, 141893)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, check := range rep.Checks {
+		fmt.Println(check)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the report (cf. the paper's Appendix C):")
+	fmt.Println(" - AS141893's export is Bad: neither of its export rules covers AS56239.")
+	fmt.Println(" - AS56239's export to AS133840 matches the peering but not the filter")
+	fmt.Println("   strictly. With our self-consistent relationship data the Export Self")
+	fmt.Println("   relaxation fires (the prefix's route object belongs to AS141893, a")
+	fmt.Println("   member of AS56239's customer cone). The paper instead reports the hop")
+	fmt.Println("   as uphill-safelisted because CAIDA's cone dataset excluded AS141893 —")
+	fmt.Println("   a real-data inconsistency discussed in the appendix.")
+	fmt.Println(" - AS6939's import strictly matches 'from AS-ANY accept ANY'.")
+	fmt.Println(" - AS1299's export references two as-sets missing from the IRR: Unrecorded.")
+	fmt.Println(" - AS3257's import mismatches its rules but both ASes are Tier-1: safelisted.")
+}

@@ -1,0 +1,87 @@
+// Evolution: track RPSL usage across registry snapshots — the
+// longitudinal analysis the paper's conclusion proposes. Two snapshots
+// of a small registry are diffed object-by-object and summarized as an
+// adoption time series.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/evolve"
+	"rpslyzer/internal/ir"
+)
+
+const june = `
+aut-num:        AS64500
+as-name:        EARLY-ADOPTER
+import:         from AS64501 accept AS64501
+export:         to AS64501 announce ANY
+source:         RIPE
+
+aut-num:        AS64501
+as-name:        QUIET
+source:         RIPE
+
+route:          192.0.2.0/24
+origin:         AS64500
+source:         RIPE
+`
+
+const july = `
+aut-num:        AS64500
+as-name:        EARLY-ADOPTER
+import:         from AS64501 accept AS64501
+import:         from AS64502 accept AS-NEWCUST
+export:         to AS64501 announce ANY
+export:         to AS64502 announce ANY
+source:         RIPE
+
+aut-num:        AS64501
+as-name:        QUIET-NO-MORE
+import:         from AS64500 accept ANY
+export:         to AS64500 announce AS64501
+source:         RIPE
+
+aut-num:        AS64502
+as-name:        NEWCOMER
+source:         RIPE
+
+as-set:         AS-NEWCUST
+members:        AS64502
+source:         RIPE
+
+route:          192.0.2.0/24
+origin:         AS64500
+source:         RIPE
+
+route:          198.51.100.0/24
+origin:         AS64501
+source:         RIPE
+`
+
+func main() {
+	log.SetFlags(0)
+	a := core.ParseText(june, "RIPE")
+	b := core.ParseText(july, "RIPE")
+
+	fmt.Println("diff June -> July:")
+	d := evolve.Compare(a, b)
+	fmt.Print(d.Summary())
+	for _, asn := range d.AddedAutNums {
+		fmt.Printf("  + aut-num %s\n", asn)
+	}
+	for _, asn := range d.PolicyChanged {
+		fmt.Printf("  ~ policy %s\n", asn)
+	}
+	for _, s := range d.AddedAsSets {
+		fmt.Printf("  + as-set %s\n", s)
+	}
+
+	fmt.Println("\nadoption series:")
+	for _, p := range evolve.Series([]string{"2023-06", "2023-07"}, []*ir.IR{a, b}) {
+		fmt.Printf("  %s: %d aut-nums, %d with rules, %d rules, %d route objects\n",
+			p.Label, p.AutNums, p.WithRules, p.Rules, p.Routes)
+	}
+}

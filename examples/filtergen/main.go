@@ -1,0 +1,81 @@
+// Filtergen: generate router prefix-list configuration from RPSL
+// objects, the workflow transit providers require of their customers
+// (paper, Section 1) and the job of the BGPq4 baseline. The example
+// resolves an as-set recursively, emits Cisco IOS and Junos dialects,
+// and shows aggregation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpslyzer/internal/bgpq"
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/irr"
+)
+
+const registry = `
+as-set:         AS-MEGACORP
+descr:          Megacorp and its downstreams
+members:        AS64500, AS-MEGACORP-EU
+source:         RADB
+
+as-set:         AS-MEGACORP-EU
+members:        AS64501, AS64502
+source:         RADB
+
+route:          203.0.113.0/24
+origin:         AS64500
+source:         RADB
+
+route:          198.51.100.0/25
+origin:         AS64501
+source:         RADB
+
+route:          198.51.100.128/25
+origin:         AS64501
+source:         RADB
+
+route:          192.0.2.0/24
+origin:         AS64502
+source:         RADB
+
+route6:         2001:db8::/32
+origin:         AS64500
+source:         RADB
+`
+
+func main() {
+	log.SetFlags(0)
+	db := irr.New(core.ParseText(registry, "RADB"))
+
+	fmt.Println("# bgpq-style resolution of AS-MEGACORP (recursive)")
+	prefixes, err := bgpq.Resolve(db, "AS-MEGACORP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range prefixes {
+		fmt.Printf("#   %s\n", p)
+	}
+
+	fmt.Println("\n# Cisco IOS prefix-list")
+	ios, err := bgpq.Generate(db, "AS-MEGACORP", bgpq.GenerateOptions{Name: "MEGACORP-IN"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ios)
+
+	fmt.Println("\n# Cisco IOS prefix-list, aggregated (-A): the two /25s merge")
+	agg, err := bgpq.Generate(db, "AS-MEGACORP", bgpq.GenerateOptions{Name: "MEGACORP-IN", Aggregate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(agg)
+
+	fmt.Println("\n# Junos policy, IPv6 family")
+	junos, err := bgpq.Generate(db, "AS64500", bgpq.GenerateOptions{Name: "MEGACORP-V6", Format: bgpq.FormatJunos, IPv6: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(junos)
+}

@@ -1,0 +1,61 @@
+// Whois: run the IRR query server over a generated registry and query
+// it like the paper's Appendix A does ("whois -h whois.radb.net
+// 8.8.8.8") — server and client in one process, over real TCP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/whois"
+)
+
+const registry = `
+aut-num:        AS15169
+as-name:        GOOGLE
+import:         from AS174 accept ANY
+export:         to AS174 announce AS-GOOGLE
+source:         RADB
+
+as-set:         AS-GOOGLE
+members:        AS15169, AS36040
+source:         RADB
+
+route:          8.8.8.0/24
+origin:         AS15169
+descr:          Google
+source:         RADB
+
+route:          8.8.4.0/24
+origin:         AS15169
+source:         RADB
+`
+
+func main() {
+	log.SetFlags(0)
+	db := irr.New(core.ParseText(registry, "RADB"))
+
+	srv := whois.NewServer(db)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("whois server listening on %s\n\n", addr)
+
+	for _, query := range []string{
+		"8.8.8.8",           // address lookup, like the Appendix A example
+		"AS15169",           // aut-num lookup
+		"AS-GOOGLE",         // as-set lookup
+		"-i origin AS15169", // inverse origin query
+		"AS99999",           // a miss
+	} {
+		resp, err := whois.QueryServer(addr, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("$ whois -h %s %q\n%s\n", addr, query, resp)
+	}
+}

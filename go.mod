@@ -1,0 +1,3 @@
+module rpslyzer
+
+go 1.23

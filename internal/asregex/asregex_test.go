@@ -1,0 +1,367 @@
+package asregex
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpslyzer/internal/ir"
+)
+
+// tok builds a token node for an ASN.
+func tok(asn ir.ASN) *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{Kind: ir.PathASN, ASN: asn}}
+}
+
+func setTok(name string) *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{Kind: ir.PathSet, Name: name}}
+}
+
+func dot() *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{Kind: ir.PathWildcard}}
+}
+
+func concat(children ...*ir.PathNode) *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathConcat, Children: children}
+}
+
+func repeat(child *ir.PathNode, min, max int, same bool) *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathRepeat, Children: []*ir.PathNode{child}, Min: min, Max: max, Same: same}
+}
+
+func alt(children ...*ir.PathNode) *ir.PathNode {
+	return &ir.PathNode{Kind: ir.PathAlt, Children: children}
+}
+
+func rx(root *ir.PathNode, begin, end bool) *ir.PathRegex {
+	return &ir.PathRegex{Root: root, AnchorBegin: begin, AnchorEnd: end}
+}
+
+func path(asns ...ir.ASN) []ir.ASN { return asns }
+
+// fakeResolver maps set names to member lists.
+type fakeResolver map[string][]ir.ASN
+
+func (f fakeResolver) AsSetContains(name string, asn ir.ASN) (bool, bool) {
+	members, ok := f[name]
+	if !ok {
+		return false, false
+	}
+	for _, m := range members {
+		if m == asn {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+func TestAnchoredExactSequence(t *testing.T) {
+	// ^AS13911 AS6327+$ — the paper's Section 2 example.
+	re := MustCompile(rx(concat(tok(13911), repeat(tok(6327), 1, -1, false)), true, true))
+	if !re.Match(path(13911, 6327), 13911, nil) {
+		t.Error("AS13911 AS6327 should match")
+	}
+	if !re.Match(path(13911, 6327, 6327, 6327), 13911, nil) {
+		t.Error("prepended origin should match +")
+	}
+	if re.Match(path(13911), 13911, nil) {
+		t.Error("missing origin should not match")
+	}
+	if re.Match(path(13911, 6327, 174), 13911, nil) {
+		t.Error("trailing AS should not match anchored end")
+	}
+	if re.Match(path(174, 13911, 6327), 13911, nil) {
+		t.Error("leading AS should not match anchored begin")
+	}
+}
+
+func TestUnanchoredSubstring(t *testing.T) {
+	re := MustCompile(rx(tok(3356), false, false))
+	if !re.Match(path(174, 3356, 64496), 174, nil) {
+		t.Error("unanchored single-token regex should match mid-path")
+	}
+	if re.Match(path(174, 64496), 174, nil) {
+		t.Error("absent AS should not match")
+	}
+}
+
+func TestAnchorBeginOnly(t *testing.T) {
+	re := MustCompile(rx(tok(174), true, false))
+	if !re.Match(path(174, 3356), 174, nil) {
+		t.Error("^AS174 should match path starting with AS174")
+	}
+	if re.Match(path(3356, 174), 3356, nil) {
+		t.Error("^AS174 should not match path starting elsewhere")
+	}
+}
+
+func TestAnchorEndOnly(t *testing.T) {
+	re := MustCompile(rx(tok(64496), false, true))
+	if !re.Match(path(174, 3356, 64496), 174, nil) {
+		t.Error("AS64496$ should match path originated by AS64496")
+	}
+	if re.Match(path(64496, 3356), 64496, nil) {
+		t.Error("AS64496$ should not match when not at origin")
+	}
+}
+
+func TestEmptyPathMatchesStarOnly(t *testing.T) {
+	re := MustCompile(rx(repeat(dot(), 0, -1, false), true, true))
+	if !re.Match(nil, 0, nil) {
+		t.Error(".* should match the empty path")
+	}
+	re2 := MustCompile(rx(tok(1), true, true))
+	if re2.Match(nil, 0, nil) {
+		t.Error("^AS1$ should not match the empty path")
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	re := MustCompile(rx(concat(alt(tok(1), tok(2), tok(3)), tok(9)), true, true))
+	for _, first := range []ir.ASN{1, 2, 3} {
+		if !re.Match(path(first, 9), 0, nil) {
+			t.Errorf("(1|2|3) 9 should match [%d 9]", first)
+		}
+	}
+	if re.Match(path(4, 9), 0, nil) {
+		t.Error("(1|2|3) 9 should not match [4 9]")
+	}
+}
+
+func TestOptionalAndBoundedRepeat(t *testing.T) {
+	// ^AS1 AS2? AS3{1,2}$
+	re := MustCompile(rx(concat(tok(1), repeat(tok(2), 0, 1, false), repeat(tok(3), 1, 2, false)), true, true))
+	ok := [][]ir.ASN{{1, 3}, {1, 2, 3}, {1, 3, 3}, {1, 2, 3, 3}}
+	bad := [][]ir.ASN{{1}, {1, 2}, {1, 2, 2, 3}, {1, 3, 3, 3}}
+	for _, p := range ok {
+		if !re.Match(p, 0, nil) {
+			t.Errorf("should match %v", p)
+		}
+	}
+	for _, p := range bad {
+		if re.Match(p, 0, nil) {
+			t.Errorf("should not match %v", p)
+		}
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	// ^. AS2$
+	re := MustCompile(rx(concat(dot(), tok(2)), true, true))
+	if !re.Match(path(9999, 2), 0, nil) {
+		t.Error(". AS2 should match any first AS")
+	}
+	if re.Match(path(2), 0, nil) {
+		t.Error(". AS2 needs two ASes")
+	}
+}
+
+func TestAsSetToken(t *testing.T) {
+	res := fakeResolver{"AS-CUST": {64501, 64502}}
+	re := MustCompile(rx(concat(tok(174), repeat(setTok("AS-CUST"), 1, -1, false)), true, true))
+	if !re.Match(path(174, 64501, 64502), 0, res) {
+		t.Error("as-set members should match")
+	}
+	if re.Match(path(174, 64503), 0, res) {
+		t.Error("non-member should not match")
+	}
+	// Unrecorded set matches nothing.
+	re2 := MustCompile(rx(setTok("AS-MISSING"), true, true))
+	if re2.Match(path(64501), 0, res) {
+		t.Error("unrecorded as-set should match nothing")
+	}
+}
+
+func TestPeerAS(t *testing.T) {
+	// ^PeerAS+$ — the catch-all rule from the AS199284 example.
+	re := MustCompile(rx(repeat(&ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{Kind: ir.PathPeerAS}}, 1, -1, false), true, true))
+	if !re.Match(path(64500, 64500), 64500, nil) {
+		t.Error("PeerAS+ should match repeated peer")
+	}
+	if re.Match(path(64500, 64501), 64500, nil) {
+		t.Error("PeerAS+ should not match another AS")
+	}
+}
+
+func TestASRange(t *testing.T) {
+	re := MustCompile(rx(&ir.PathNode{Kind: ir.PathToken,
+		Term: &ir.PathTerm{Kind: ir.PathASRange, ASN: 64496, ASNHi: 64511}}, true, true))
+	if !re.Match(path(64500), 0, nil) {
+		t.Error("in-range ASN should match")
+	}
+	if re.Match(path(64512), 0, nil) {
+		t.Error("out-of-range ASN should not match")
+	}
+}
+
+func TestCharClass(t *testing.T) {
+	cls := &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{
+		Kind: ir.PathClass,
+		Elems: []*ir.PathTerm{
+			{Kind: ir.PathASN, ASN: 1},
+			{Kind: ir.PathASRange, ASN: 10, ASNHi: 20},
+		},
+	}}
+	re := MustCompile(rx(cls, true, true))
+	for _, a := range []ir.ASN{1, 10, 15, 20} {
+		if !re.Match(path(a), 0, nil) {
+			t.Errorf("class should match AS%d", a)
+		}
+	}
+	if re.Match(path(2), 0, nil) {
+		t.Error("class should not match AS2")
+	}
+}
+
+func TestNegatedCharClass(t *testing.T) {
+	cls := &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{
+		Kind:    ir.PathClass,
+		Negated: true,
+		Elems:   []*ir.PathTerm{{Kind: ir.PathASN, ASN: 65535}},
+	}}
+	re := MustCompile(rx(repeat(cls, 1, -1, false), true, true))
+	if !re.Match(path(1, 2, 3), 0, nil) {
+		t.Error("[^AS65535]+ should match a clean path")
+	}
+	if re.Match(path(1, 65535, 3), 0, nil) {
+		t.Error("[^AS65535]+ should reject a path containing AS65535")
+	}
+}
+
+func TestSameRepeat(t *testing.T) {
+	// .~+ : one AS repeated (prepending detection).
+	re := MustCompile(rx(repeat(dot(), 1, -1, true), true, true))
+	if !re.Match(path(7, 7, 7), 0, nil) {
+		t.Error(".~+ should match a uniformly prepended path")
+	}
+	if re.Match(path(7, 7, 8), 0, nil) {
+		t.Error(".~+ should not match a path with two distinct ASes")
+	}
+	if !re.Match(path(42), 0, nil) {
+		t.Error(".~+ should match a single AS")
+	}
+}
+
+func TestSameRepeatBounded(t *testing.T) {
+	// ^AS1 .~{2,3}$
+	re := MustCompile(rx(concat(tok(1), repeat(dot(), 2, 3, true)), true, true))
+	if !re.Match(path(1, 5, 5), 0, nil) {
+		t.Error("should match two same")
+	}
+	if !re.Match(path(1, 5, 5, 5), 0, nil) {
+		t.Error("should match three same")
+	}
+	if re.Match(path(1, 5, 6), 0, nil) {
+		t.Error("should not match differing ASes")
+	}
+	if re.Match(path(1, 5), 0, nil) {
+		t.Error("should not match below min")
+	}
+}
+
+func TestSameRepeatRequiresToken(t *testing.T) {
+	group := concat(tok(1), tok(2))
+	if _, err := Compile(rx(repeat(group, 0, -1, true), true, true)); err == nil {
+		t.Error("~ over a group should be a compile error")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil regex accepted")
+	}
+	if _, err := Compile(rx(&ir.PathNode{Kind: ir.PathToken}, true, true)); err == nil {
+		t.Error("token without term accepted")
+	}
+	if _, err := Compile(rx(repeat(tok(1), 3, 2, false), true, true)); err == nil {
+		t.Error("bad bounds accepted")
+	}
+	if _, err := Compile(rx(repeat(tok(1), 0, 1000, false), true, true)); err == nil {
+		t.Error("huge bound accepted")
+	}
+	if _, err := Compile(rx(&ir.PathNode{Kind: ir.PathAlt}, true, true)); err == nil {
+		t.Error("empty alternation accepted")
+	}
+	if _, err := Compile(rx(&ir.PathNode{Kind: ir.PathRepeat, Children: []*ir.PathNode{tok(1), tok(2)}}, true, true)); err == nil {
+		t.Error("repeat with two children accepted")
+	}
+}
+
+func TestNestedStarDoesNotLoop(t *testing.T) {
+	// (AS1*)* can epsilon-loop in naive implementations.
+	inner := repeat(tok(1), 0, -1, false)
+	re := MustCompile(rx(repeat(inner, 0, -1, false), true, true))
+	if !re.Match(path(1, 1, 1), 0, nil) {
+		t.Error("(AS1*)* should match AS1 AS1 AS1")
+	}
+	if !re.Match(nil, 0, nil) {
+		t.Error("(AS1*)* should match empty")
+	}
+	if re.Match(path(2), 0, nil) {
+		t.Error("(AS1*)* should not match AS2")
+	}
+}
+
+// randNode generates a random small regex AST for differential testing.
+func randNode(rng *rand.Rand, depth int) *ir.PathNode {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return tok(ir.ASN(1 + rng.Intn(4)))
+		case 1:
+			return dot()
+		case 2:
+			return &ir.PathNode{Kind: ir.PathToken, Term: &ir.PathTerm{
+				Kind: ir.PathASRange, ASN: 1, ASNHi: ir.ASN(1 + rng.Intn(4))}}
+		default:
+			return tok(ir.ASN(1 + rng.Intn(4)))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return concat(randNode(rng, depth-1), randNode(rng, depth-1))
+	case 1:
+		return alt(randNode(rng, depth-1), randNode(rng, depth-1))
+	default:
+		min := rng.Intn(2)
+		max := -1
+		if rng.Intn(2) == 0 {
+			max = min + rng.Intn(3)
+		}
+		return repeat(randNode(rng, depth-1), min, max, false)
+	}
+}
+
+// TestDifferentialNFAvsProduct checks the production NFA against the
+// paper's Cartesian-product construction on random regexes and paths.
+func TestDifferentialNFAvsProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		root := randNode(rng, 3)
+		re, err := Compile(rx(root, rng.Intn(2) == 0, rng.Intn(2) == 0))
+		if err != nil {
+			continue
+		}
+		n := rng.Intn(5)
+		p := make([]ir.ASN, n)
+		for i := range p {
+			p[i] = ir.ASN(1 + rng.Intn(5))
+		}
+		got := re.Match(p, 1, nil)
+		want := re.MatchProduct(p, 1, nil, 1<<20)
+		if got != want {
+			t.Fatalf("iter %d: NFA=%v product=%v for regex %q path %v",
+				iter, got, want, re.Source().String(), p)
+		}
+	}
+}
+
+func TestMatchProductFallsBackWhenTooLarge(t *testing.T) {
+	re := MustCompile(rx(repeat(dot(), 0, -1, false), true, true))
+	p := make([]ir.ASN, 40)
+	for i := range p {
+		p[i] = ir.ASN(i)
+	}
+	if !re.MatchProduct(p, 0, nil, 4) {
+		t.Error("fallback path should still match")
+	}
+}

@@ -1,0 +1,136 @@
+package asrel
+
+import "rpslyzer/internal/ir"
+
+// InferGao derives AS relationships from observed AS-paths using the
+// classic Gao algorithm (Gao 2001, simplified): assuming valley-free
+// routing, the highest-degree AS on a path is its "top"; links left of
+// the top are customer-to-provider, links right of it
+// provider-to-customer. Votes are accumulated over all paths and each
+// link is classified by its dominant direction; links with substantial
+// votes in both directions between similar-degree ASes are classified
+// as peering.
+//
+// This is the substrate standing in for CAIDA's published inference;
+// the topology generator's ground truth is used to validate it in
+// tests.
+func InferGao(paths [][]ir.ASN) *Database {
+	// Node degree over the undirected AS graph.
+	neighbors := make(map[ir.ASN]map[ir.ASN]bool)
+	link := func(a, b ir.ASN) {
+		if neighbors[a] == nil {
+			neighbors[a] = make(map[ir.ASN]bool)
+		}
+		neighbors[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] {
+				continue // prepending
+			}
+			link(p[i], p[i+1])
+			link(p[i+1], p[i])
+		}
+	}
+	degree := func(a ir.ASN) int { return len(neighbors[a]) }
+
+	type edge struct{ hi, lo ir.ASN }
+	canon := func(a, b ir.ASN) (edge, bool) {
+		if a < b {
+			return edge{a, b}, false
+		}
+		return edge{b, a}, true
+	}
+	// votes[e] counts (first-is-provider, second-is-provider).
+	type vote struct{ firstProv, secondProv int }
+	votes := make(map[edge]*vote)
+	getVote := func(e edge) *vote {
+		v := votes[e]
+		if v == nil {
+			v = &vote{}
+			votes[e] = v
+		}
+		return v
+	}
+
+	for _, p := range paths {
+		// Deduplicate prepending.
+		path := dedupe(p)
+		if len(path) < 2 {
+			continue
+		}
+		// Find top: maximum-degree AS.
+		top := 0
+		for i := 1; i < len(path); i++ {
+			if degree(path[i]) > degree(path[top]) {
+				top = i
+			}
+		}
+		// Left of top (walking from collector side to top): each link
+		// (path[i], path[i+1]) with i < top has path[i+1] as provider
+		// of path[i]?? No: the path is collector->origin; the origin is
+		// at the end. Routes propagate origin -> collector, so in path
+		// order p[i] received the route from p[i+1]. Uphill propagation
+		// (customer exporting to provider) happens on the origin side.
+		// With the path written left-to-right as [collector-peer ...
+		// origin], links right of the top are customer->provider in
+		// propagation terms: p[i] is a provider of p[i+1] for i >= top.
+		// Links left of the top have p[i+1] as provider of p[i].
+		for i := 0; i+1 < len(path); i++ {
+			e, swapped := canon(path[i], path[i+1])
+			v := getVote(e)
+			iIsProvider := i >= top
+			first := (iIsProvider && !swapped) || (!iIsProvider && swapped)
+			if first {
+				v.firstProv++
+			} else {
+				v.secondProv++
+			}
+		}
+	}
+
+	db := New()
+	for e, v := range votes {
+		a, b := e.hi, e.lo
+		da, dbg := degree(a), degree(b)
+		switch {
+		case v.firstProv > 0 && v.secondProv > 0:
+			// Conflicting votes: peers when degrees are comparable,
+			// otherwise the bigger AS is the provider.
+			if similarDegree(da, dbg) {
+				db.AddP2P(a, b)
+			} else if da > dbg {
+				db.AddP2C(a, b)
+			} else {
+				db.AddP2C(b, a)
+			}
+		case v.firstProv > 0:
+			db.AddP2C(a, b)
+		case v.secondProv > 0:
+			db.AddP2C(b, a)
+		}
+	}
+	db.ComputeTier1()
+	return db
+}
+
+// similarDegree reports whether two degrees are within a factor of 2,
+// the peer heuristic used by degree-based inference.
+func similarDegree(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return b <= 2*a
+}
+
+// dedupe removes consecutive duplicates (AS-path prepending).
+func dedupe(p []ir.ASN) []ir.ASN {
+	out := make([]ir.ASN, 0, len(p))
+	for i, a := range p {
+		if i > 0 && a == p[i-1] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+// Package bgpsim simulates BGP route propagation over a synthetic AS
+// topology following the Gao–Rexford model (customer routes preferred
+// over peer routes over provider routes; valley-free exports), places
+// route collectors, and reads/writes the resulting route dumps. It is
+// the substrate standing in for the paper's 779 M routes from 60 RIPE
+// RIS and RouteViews collectors.
+package bgpsim
+
+import (
+	"sort"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/topology"
+)
+
+// routeClass orders route preference: customer > peer > provider.
+type routeClass uint8
+
+const (
+	classNone routeClass = iota
+	classProvider
+	classPeer
+	classCustomer
+)
+
+// learned is the per-AS state while computing routes to one
+// destination.
+type learned struct {
+	class   routeClass
+	length  int
+	nextHop ir.ASN
+}
+
+// better reports whether candidate (class c, length l, next hop via nh)
+// beats the current state, using Gao–Rexford preference then shortest
+// path then lowest next-hop ASN.
+func (cur learned) better(c routeClass, l int, nh ir.ASN) bool {
+	if c != cur.class {
+		return c > cur.class
+	}
+	if l != cur.length {
+		return l < cur.length
+	}
+	return nh < cur.nextHop
+}
+
+// Simulator computes Gao–Rexford best paths over a topology.
+type Simulator struct {
+	Topo *topology.Topology
+	// order caches a deterministic AS order.
+	order []ir.ASN
+}
+
+// NewSimulator creates a simulator over a topology.
+func NewSimulator(t *topology.Topology) *Simulator {
+	return &Simulator{Topo: t, order: t.Order}
+}
+
+// PathsTo computes, for every AS, its best AS-path to destination d
+// (the path starts at the AS and ends with d). ASes with no route map
+// to nil. The algorithm runs the classic three-phase propagation:
+//
+//  1. Customer routes climb provider links (BFS from d upward).
+//  2. ASes with customer routes (or d itself) export to peers.
+//  3. Routes descend provider-to-customer links.
+func (s *Simulator) PathsTo(d ir.ASN) map[ir.ASN][]ir.ASN {
+	rels := s.Topo.Rels
+	state := make(map[ir.ASN]learned, len(s.order))
+	state[d] = learned{class: classCustomer, length: 0, nextHop: d}
+
+	// Phase 1: climb provider links, BFS by path length so shorter
+	// customer routes win.
+	frontier := []ir.ASN{d}
+	length := 0
+	for len(frontier) > 0 {
+		length++
+		var next []ir.ASN
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, u := range frontier {
+			for _, p := range rels.Providers(u) {
+				cur, ok := state[p]
+				if !ok || cur.better(classCustomer, length, u) {
+					if !ok || cur.class != classCustomer || length < cur.length ||
+						(length == cur.length && u < cur.nextHop) {
+						if !ok {
+							next = append(next, p)
+						}
+						state[p] = learned{class: classCustomer, length: length, nextHop: u}
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Phase 2: peer exports from ASes holding customer routes (or d).
+	peerState := make(map[ir.ASN]learned)
+	for u, st := range state {
+		if st.class != classCustomer {
+			continue
+		}
+		for _, p := range rels.Peers(u) {
+			cand := learned{class: classPeer, length: st.length + 1, nextHop: u}
+			if cur, ok := peerState[p]; !ok || cur.better(classPeer, cand.length, u) {
+				if !ok || cand.length < cur.length || (cand.length == cur.length && u < cur.nextHop) {
+					peerState[p] = cand
+				}
+			}
+		}
+	}
+	for p, st := range peerState {
+		if cur, ok := state[p]; !ok || cur.class < classPeer {
+			state[p] = st
+		}
+	}
+
+	// Phase 3: descend provider->customer links, BFS by length over
+	// ASes that do not already hold a better route.
+	var downFrontier []ir.ASN
+	for u := range state {
+		downFrontier = append(downFrontier, u)
+	}
+	sort.Slice(downFrontier, func(i, j int) bool { return downFrontier[i] < downFrontier[j] })
+	for len(downFrontier) > 0 {
+		var next []ir.ASN
+		for _, u := range downFrontier {
+			st := state[u]
+			for _, c := range rels.Customers(u) {
+				cand := learned{class: classProvider, length: st.length + 1, nextHop: u}
+				cur, ok := state[c]
+				if !ok {
+					state[c] = cand
+					next = append(next, c)
+					continue
+				}
+				if cur.class == classProvider && (cand.length < cur.length ||
+					(cand.length == cur.length && u < cur.nextHop)) {
+					state[c] = cand
+					next = append(next, c)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		downFrontier = next
+	}
+
+	// Materialize paths.
+	out := make(map[ir.ASN][]ir.ASN, len(state))
+	for u := range state {
+		out[u] = s.reconstruct(u, d, state)
+	}
+	return out
+}
+
+func (s *Simulator) reconstruct(u, d ir.ASN, state map[ir.ASN]learned) []ir.ASN {
+	path := []ir.ASN{u}
+	cur := u
+	for cur != d {
+		st, ok := state[cur]
+		if !ok || len(path) > len(state)+1 {
+			return nil // should not happen; guard against loops
+		}
+		cur = st.nextHop
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Route is one observed BGP route: a prefix and the AS-path seen at a
+// collector (path[0] is the collector peer, the last AS is the origin,
+// unless the route carries an AS-set).
+type Route struct {
+	Prefix prefix.Prefix
+	Path   []ir.ASN
+	// HasASSet marks routes whose path contains a BGP AS-set
+	// (aggregation artifact); the paper ignores these (0.03%).
+	HasASSet bool
+	// Communities carries the route's BGP community attributes as
+	// observed at the collector. Intermediate ASes may strip them,
+	// which is exactly why the paper declines to verify community
+	// filters; the optional community-interpretation mode uses them.
+	Communities []Community
+}
+
+// Collector is a named route collector with its peer ASes.
+type Collector struct {
+	Name  string
+	Peers []ir.ASN
+}
+
+// CollectRoutes computes the routes each collector observes: for every
+// collector peer and every origin AS, the peer's best path to the
+// origin, expanded to all the origin's prefixes.
+//
+// Mutators (prepending, AS-set injection) are applied by the caller via
+// opts; see Options.
+func (s *Simulator) CollectRoutes(collectors []Collector, opts Options) []Route {
+	opts.fill()
+	// Gather the set of peers we need paths for.
+	peerSet := make(map[ir.ASN]bool)
+	for _, c := range collectors {
+		for _, p := range c.Peers {
+			peerSet[p] = true
+		}
+	}
+
+	var routes []Route
+	rng := newSplitMix(uint64(opts.Seed))
+	for _, origin := range s.order {
+		as := s.Topo.ASes[origin]
+		if len(as.Prefixes) == 0 {
+			continue
+		}
+		paths := s.PathsTo(origin)
+		for _, c := range collectors {
+			for _, peer := range c.Peers {
+				path := paths[peer]
+				if path == nil {
+					continue
+				}
+				for _, pfx := range as.Prefixes {
+					r := Route{Prefix: pfx, Path: path}
+					// Occasional origin prepending.
+					if opts.PrependFrac > 0 && rng.float64() < opts.PrependFrac {
+						times := 1 + int(rng.next()%3)
+						pp := append([]ir.ASN{}, path...)
+						for i := 0; i < times; i++ {
+							pp = append(pp, origin)
+						}
+						r.Path = pp
+					}
+					if opts.ASSetFrac > 0 && rng.float64() < opts.ASSetFrac {
+						r.HasASSet = true
+					}
+					// Community tagging: a small fraction of routes
+					// carry the BLACKHOLE community; in-flight
+					// stripping removes it before the collector with
+					// the configured probability.
+					if opts.CommunityFrac > 0 && rng.float64() < opts.CommunityFrac {
+						if !(opts.StripCommunityFrac > 0 && rng.float64() < opts.StripCommunityFrac) {
+							r.Communities = []Community{BlackholeCommunity}
+						}
+					}
+					routes = append(routes, r)
+				}
+			}
+		}
+	}
+	return routes
+}
+
+// Options tunes route collection.
+type Options struct {
+	// Seed drives mutators deterministically.
+	Seed int64
+	// PrependFrac is the fraction of routes with origin prepending
+	// (the paper strips prepending before verification).
+	PrependFrac float64
+	// ASSetFrac is the fraction of routes carrying BGP AS-sets, which
+	// the paper ignores (0.03%).
+	ASSetFrac float64
+	// CommunityFrac is the fraction of routes tagged with the
+	// BLACKHOLE community at the origin; StripCommunityFrac is the
+	// probability an intermediate AS strips it before the collector.
+	CommunityFrac      float64
+	StripCommunityFrac float64
+}
+
+func (o *Options) fill() {
+	if o.PrependFrac == 0 {
+		o.PrependFrac = 0.05
+	}
+	if o.ASSetFrac == 0 {
+		o.ASSetFrac = 0.0003
+	}
+}
+
+// DefaultCollectors places n collectors, each peering with a mix of
+// Tier-1, Tier-2 and other ASes, mirroring RIPE RIS / RouteViews
+// vantage points.
+func (s *Simulator) DefaultCollectors(n int) []Collector {
+	rels := s.Topo.Rels
+	// Rank ASes by degree, descending: big networks peer with
+	// collectors most often.
+	ranked := append([]ir.ASN(nil), s.order...)
+	sort.Slice(ranked, func(i, j int) bool {
+		di, dj := rels.Degree(ranked[i]), rels.Degree(ranked[j])
+		if di != dj {
+			return di > dj
+		}
+		return ranked[i] < ranked[j]
+	})
+	var collectors []Collector
+	rng := newSplitMix(0xc011ec7)
+	for i := 0; i < n; i++ {
+		c := Collector{Name: collectorName(i)}
+		// RIPE RIS and RouteViews peer with a diverse mix: a couple of
+		// very large networks plus several mid-size and edge networks
+		// (often IXP members). The diverse vantage points are what
+		// expose peer links in observed paths.
+		big := 1 + int(rng.next()%2)
+		for j := 0; j < big && j < len(ranked); j++ {
+			idx := int(rng.next() % uint64(min(len(ranked), 40)))
+			c.Peers = appendUnique(c.Peers, ranked[idx])
+		}
+		diverse := 3 + int(rng.next()%4)
+		for j := 0; j < diverse; j++ {
+			c.Peers = appendUnique(c.Peers, s.order[int(rng.next()%uint64(len(s.order)))])
+		}
+		collectors = append(collectors, c)
+	}
+	return collectors
+}
+
+func collectorName(i int) string {
+	const letters = "0123456789"
+	if i < 10 {
+		return "rrc0" + string(letters[i])
+	}
+	return "rrc" + string(letters[(i/10)%10]) + string(letters[i%10])
+}
+
+func appendUnique(s []ir.ASN, a ir.ASN) []ir.ASN {
+	for _, x := range s {
+		if x == a {
+			return s
+		}
+	}
+	return append(s, a)
+}
+
+// splitMix is a tiny deterministic PRNG so the simulator does not
+// depend on math/rand ordering guarantees across Go versions.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed + 0x9e3779b97f4a7c15} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}

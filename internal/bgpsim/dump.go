@@ -1,0 +1,100 @@
+package bgpsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+)
+
+// WriteDump serializes routes in the pipe-separated text format used
+// throughout this repository as the stand-in for MRT table dumps:
+//
+//	<prefix>|<asn> <asn> ... <asn>[|<community> <community> ...]
+//
+// An AS-set hop is rendered as {a,b}; the paper ignores such routes and
+// so does the verifier. The community field is omitted when empty.
+func WriteDump(w io.Writer, routes []Route) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range routes {
+		bw.WriteString(r.Prefix.String())
+		bw.WriteByte('|')
+		for i, a := range r.Path {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			if r.HasASSet && i == len(r.Path)-1 {
+				fmt.Fprintf(bw, "{%d}", uint32(a))
+				continue
+			}
+			bw.WriteString(strconv.FormatUint(uint64(a), 10))
+		}
+		if len(r.Communities) > 0 {
+			bw.WriteByte('|')
+			for i, c := range r.Communities {
+				if i > 0 {
+					bw.WriteByte(' ')
+				}
+				bw.WriteString(c.String())
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadDump parses the format written by WriteDump.
+func ReadDump(r io.Reader) ([]Route, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var routes []Route
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pfxStr, rest, ok := strings.Cut(line, "|")
+		if !ok {
+			return nil, fmt.Errorf("bgpsim: line %d: missing '|'", lineNo)
+		}
+		pathStr, commStr, _ := strings.Cut(rest, "|")
+		p, err := prefix.Parse(pfxStr)
+		if err != nil {
+			return nil, fmt.Errorf("bgpsim: line %d: %v", lineNo, err)
+		}
+		route := Route{Prefix: p}
+		for _, f := range strings.Fields(commStr) {
+			c, err := ParseCommunity(f)
+			if err != nil {
+				return nil, fmt.Errorf("bgpsim: line %d: %v", lineNo, err)
+			}
+			route.Communities = append(route.Communities, c)
+		}
+		for _, f := range strings.Fields(pathStr) {
+			if strings.HasPrefix(f, "{") {
+				route.HasASSet = true
+				f = strings.Trim(f, "{}")
+				// Take the first member as a representative.
+				if i := strings.IndexByte(f, ','); i >= 0 {
+					f = f[:i]
+				}
+			}
+			n, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bgpsim: line %d: bad ASN %q", lineNo, f)
+			}
+			route.Path = append(route.Path, ir.ASN(n))
+		}
+		if len(route.Path) == 0 {
+			return nil, fmt.Errorf("bgpsim: line %d: empty path", lineNo)
+		}
+		routes = append(routes, route)
+	}
+	return routes, sc.Err()
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irrgen"
+	"rpslyzer/internal/mrt"
+)
+
+// WriteUniverse writes a generated universe to dir: one "<irr>.db"
+// RPSL dump per registry, "as-rel.txt" with the ground-truth
+// relationships in CAIDA format, and "routes.txt" with the collected
+// BGP routes.
+func WriteUniverse(sys *System, routes []bgpsim.Route, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range irrgen.IRRs {
+		path := filepath.Join(dir, strings.ToLower(name)+".db")
+		if err := os.WriteFile(path, []byte(sys.Universe.DumpText(name)), 0o644); err != nil {
+			return err
+		}
+	}
+	relF, err := os.Create(filepath.Join(dir, "as-rel.txt"))
+	if err != nil {
+		return err
+	}
+	if err := sys.Rels.WriteCAIDA(relF); err != nil {
+		relF.Close()
+		return err
+	}
+	if err := relF.Close(); err != nil {
+		return err
+	}
+	if routes != nil {
+		rf, err := os.Create(filepath.Join(dir, "routes.txt"))
+		if err != nil {
+			return err
+		}
+		if err := bgpsim.WriteDump(rf, routes); err != nil {
+			rf.Close()
+			return err
+		}
+		return rf.Close()
+	}
+	return nil
+}
+
+// LoadDumpDir parses every "*.db" RPSL dump in dir, feeding them in
+// the standard IRR priority order (Table 1); unknown registries come
+// last alphabetically. It returns the IR and per-dump sizes.
+func LoadDumpDir(dir string) (*ir.IR, map[string]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	found := make(map[string]string) // upper IRR name -> path
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".db") {
+			continue
+		}
+		name := strings.ToUpper(strings.TrimSuffix(e.Name(), ".db"))
+		found[name] = filepath.Join(dir, e.Name())
+	}
+	if len(found) == 0 {
+		return nil, nil, fmt.Errorf("core: no *.db dumps in %s", dir)
+	}
+	var order []string
+	for _, name := range irrgen.IRRs {
+		if _, ok := found[name]; ok {
+			order = append(order, name)
+		}
+	}
+	var rest []string
+	for name := range found {
+		known := false
+		for _, k := range irrgen.IRRs {
+			if k == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	order = append(order, rest...)
+
+	sizes := make(map[string]int64)
+	var dumps []Dump
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, name := range order {
+		f, err := os.Open(found[name])
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		if st, err := f.Stat(); err == nil {
+			sizes[name] = st.Size()
+		}
+		dumps = append(dumps, Dump{Name: name, R: f})
+	}
+	return ParseDumps(dumps...), sizes, nil
+}
+
+// LoadRels reads a CAIDA-format relationship file.
+func LoadRels(path string) (*asrel.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return asrel.ReadCAIDA(f)
+}
+
+// LoadRoutes reads a route dump file: MRT TABLE_DUMP_V2 when the name
+// ends in ".mrt", the pipe-separated text format otherwise.
+func LoadRoutes(path string) ([]bgpsim.Route, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".mrt") {
+		return mrt.ReadRoutes(f)
+	}
+	return bgpsim.ReadDump(f)
+}
+
+// WriteRoutesMRT writes routes as an MRT TABLE_DUMP_V2 dump.
+func WriteRoutesMRT(path string, routes []bgpsim.Route) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := mrt.NewWriter(f, time.Now())
+	if err := w.WriteRoutes(routes); err != nil {
+		return err
+	}
+	return f.Close()
+}

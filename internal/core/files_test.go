@@ -1,0 +1,185 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpslyzer/internal/verify"
+)
+
+// TestFilePipelineRoundTrip exercises the full file-based workflow the
+// cmd tools use: generate → write → load dumps/relationships/routes →
+// verify, and checks the results agree with the in-memory pipeline.
+func TestFilePipelineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := BuildSynthetic(Options{Seed: 21, ASes: 200, Collectors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := sys.CollectRoutes(4, 21)
+	if err := WriteUniverse(sys, routes, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// All 13 dumps plus the two sidecar files must exist.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"ripe.db", "radb.db", "apnic.db", "as-rel.txt", "routes.txt"} {
+		if !names[want] {
+			t.Fatalf("missing %s in %v", want, names)
+		}
+	}
+
+	x, sizes, err := LoadDumpDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x.AutNums) != len(sys.IR.AutNums) {
+		t.Errorf("aut-nums: loaded %d, generated %d", len(x.AutNums), len(sys.IR.AutNums))
+	}
+	if len(x.Routes) != len(sys.IR.Routes) {
+		t.Errorf("routes: loaded %d, generated %d", len(x.Routes), len(sys.IR.Routes))
+	}
+	if sizes["RIPE"] == 0 {
+		t.Error("sizes not populated")
+	}
+
+	rels, err := LoadRels(filepath.Join(dir, "as-rel.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels.Tier1s()) != len(sys.Rels.Tier1s()) {
+		t.Errorf("tier1s: loaded %d, generated %d", len(rels.Tier1s()), len(sys.Rels.Tier1s()))
+	}
+
+	loaded, err := LoadRoutes(filepath.Join(dir, "routes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(routes) {
+		t.Fatalf("routes: loaded %d, wrote %d", len(loaded), len(routes))
+	}
+
+	// Verification through the file path must agree exactly with the
+	// in-memory run.
+	_, vFile := BuildFromIR(x, rels, verify.Config{})
+	sample := loaded
+	if len(sample) > 500 {
+		sample = sample[:500]
+	}
+	for i, r := range sample {
+		a := vFile.VerifyRoute(r)
+		b := sys.Verifier.VerifyRoute(routes[i])
+		if len(a.Checks) != len(b.Checks) {
+			t.Fatalf("route %d: %d vs %d checks", i, len(a.Checks), len(b.Checks))
+		}
+		for j := range a.Checks {
+			if a.Checks[j].Status != b.Checks[j].Status {
+				t.Fatalf("route %d check %d: %v vs %v", i, j, a.Checks[j], b.Checks[j])
+			}
+		}
+	}
+}
+
+func TestLoadDumpDirErrors(t *testing.T) {
+	if _, _, err := LoadDumpDir(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+	if _, _, err := LoadDumpDir("/nonexistent-path-xyz"); err == nil {
+		t.Error("missing dir should error")
+	}
+}
+
+func TestLoadDumpDirUnknownRegistry(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "custom.db"),
+		[]byte("aut-num: AS7\nsource: CUSTOM\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := LoadDumpDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := x.AutNums[7]; !ok {
+		t.Error("object from unknown registry lost")
+	}
+}
+
+func TestLoadHelpersErrors(t *testing.T) {
+	if _, err := LoadRels("/nonexistent-rel-file"); err == nil {
+		t.Error("missing rel file should error")
+	}
+	if _, err := LoadRoutes("/nonexistent-route-file"); err == nil {
+		t.Error("missing route file should error")
+	}
+}
+
+func TestWriteAndLoadRoutesMRT(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := BuildSynthetic(Options{Seed: 33, ASes: 120, Collectors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := sys.CollectRoutes(2, 33)
+	path := filepath.Join(dir, "routes.mrt")
+	if err := WriteRoutesMRT(path, routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRoutes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(routes) {
+		t.Fatalf("MRT routes = %d, want %d", len(got), len(routes))
+	}
+	for i := range routes {
+		if got[i].Prefix.Compare(routes[i].Prefix) != 0 || len(got[i].Path) != len(routes[i].Path) {
+			t.Fatalf("route %d mismatch", i)
+		}
+	}
+	if err := WriteRoutesMRT("/nonexistent-dir-zzz/x.mrt", routes); err == nil {
+		t.Error("bad MRT path accepted")
+	}
+}
+
+func TestWriteUniverseWithoutRoutes(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := BuildSynthetic(Options{Seed: 34, ASes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteUniverse(sys, nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "routes.txt")); !os.IsNotExist(err) {
+		t.Error("routes.txt written despite nil routes")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "as-rel.txt")); err != nil {
+		t.Error("as-rel.txt missing")
+	}
+}
+
+func TestWriteUniverseBadDir(t *testing.T) {
+	sys, err := BuildSynthetic(Options{Seed: 35, ASes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteUniverse(sys, nil, "/proc/definitely/not/writable"); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}
+
+func TestVerifyOneBadInput(t *testing.T) {
+	x := ParseText("aut-num: AS1\n", "T")
+	_, v := BuildFromIR(x, newEmptyRels(), verify.Config{})
+	if _, err := VerifyOne(v, "not-a-prefix", 1, 2); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package evolve
+
+import (
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/ir"
+)
+
+const snapOld = `
+aut-num: AS1
+import: from AS2 accept ANY
+
+aut-num: AS2
+export: to AS1 announce AS2
+
+aut-num: AS3
+
+as-set: AS-KEPT
+members: AS1
+
+as-set: AS-DROPPED
+members: AS2
+
+as-set: AS-MUTATED
+members: AS1, AS2
+
+route-set: RS-OLD
+members: 192.0.2.0/24
+
+route: 192.0.2.0/24
+origin: AS2
+
+route: 198.51.100.0/24
+origin: AS2
+`
+
+const snapNew = `
+aut-num: AS1
+import: from AS2 accept ANY
+import: from AS4 accept AS4
+
+aut-num: AS3
+
+aut-num: AS4
+export: to AS1 announce AS4
+
+as-set: AS-KEPT
+members: AS1
+
+as-set: AS-MUTATED
+members: AS1, AS9
+
+as-set: AS-FRESH
+members: AS4
+
+route-set: RS-NEW
+members: 203.0.113.0/24
+
+route: 192.0.2.0/24
+origin: AS2
+
+route: 203.0.113.0/24
+origin: AS4
+`
+
+func TestCompare(t *testing.T) {
+	oldIR := core.ParseText(snapOld, "RIPE")
+	newIR := core.ParseText(snapNew, "RIPE")
+	d := Compare(oldIR, newIR)
+
+	if len(d.AddedAutNums) != 1 || d.AddedAutNums[0] != 4 {
+		t.Errorf("added aut-nums = %v", d.AddedAutNums)
+	}
+	if len(d.RemovedAutNums) != 1 || d.RemovedAutNums[0] != 2 {
+		t.Errorf("removed aut-nums = %v", d.RemovedAutNums)
+	}
+	if len(d.PolicyChanged) != 1 || d.PolicyChanged[0] != 1 {
+		t.Errorf("policy changed = %v", d.PolicyChanged)
+	}
+	if d.RulesAdded != 1 || d.RulesRemoved != 0 {
+		t.Errorf("rules +%d -%d", d.RulesAdded, d.RulesRemoved)
+	}
+	if len(d.AddedAsSets) != 1 || d.AddedAsSets[0] != "AS-FRESH" {
+		t.Errorf("added sets = %v", d.AddedAsSets)
+	}
+	if len(d.RemovedAsSets) != 1 || d.RemovedAsSets[0] != "AS-DROPPED" {
+		t.Errorf("removed sets = %v", d.RemovedAsSets)
+	}
+	if len(d.ChangedAsSets) != 1 || d.ChangedAsSets[0] != "AS-MUTATED" {
+		t.Errorf("changed sets = %v", d.ChangedAsSets)
+	}
+	if len(d.AddedRouteSets) != 1 || len(d.RemovedRouteSets) != 1 {
+		t.Errorf("route sets +%v -%v", d.AddedRouteSets, d.RemovedRouteSets)
+	}
+	if d.AddedRoutes != 1 || d.RemovedRoutes != 1 {
+		t.Errorf("routes +%d -%d", d.AddedRoutes, d.RemovedRoutes)
+	}
+	if d.Empty() {
+		t.Error("diff reported empty")
+	}
+	s := d.Summary()
+	if !strings.Contains(s, "aut-nums: +1 -1") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := core.ParseText(snapOld, "RIPE")
+	b := core.ParseText(snapOld, "RIPE")
+	d := Compare(a, b)
+	if !d.Empty() {
+		t.Errorf("identical snapshots diff: %s", d.Summary())
+	}
+}
+
+func TestCompareRuleMultiset(t *testing.T) {
+	// Duplicated identical rules count as a multiset: going from two
+	// copies to one is a removal.
+	oldIR := core.ParseText("aut-num: AS1\nimport: from AS2 accept ANY\nimport: from AS2 accept ANY\n", "T")
+	newIR := core.ParseText("aut-num: AS1\nimport: from AS2 accept ANY\n", "T")
+	d := Compare(oldIR, newIR)
+	if d.RulesRemoved != 1 || d.RulesAdded != 0 {
+		t.Errorf("rules +%d -%d", d.RulesAdded, d.RulesRemoved)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	a := core.ParseText(snapOld, "RIPE")
+	b := core.ParseText(snapNew, "RIPE")
+	pts := Series([]string{"2023-06", "2023-07"}, []*ir.IR{a, b})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p0, p1 := pts[0], pts[1]
+	if p0.Label != "2023-06" || p1.Label != "2023-07" {
+		t.Errorf("labels = %q %q", p0.Label, p1.Label)
+	}
+	if p0.AutNums != 3 || p1.AutNums != 3 {
+		t.Errorf("aut-nums = %d %d", p0.AutNums, p1.AutNums)
+	}
+	if p0.WithRules != 2 || p1.WithRules != 2 {
+		t.Errorf("with rules = %d %d", p0.WithRules, p1.WithRules)
+	}
+	if p0.Rules != 2 || p1.Rules != 3 {
+		t.Errorf("rules = %d %d", p0.Rules, p1.Rules)
+	}
+	if p0.Routes != 2 || p1.Routes != 2 {
+		t.Errorf("routes = %d %d", p0.Routes, p1.Routes)
+	}
+}

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"rpslyzer/internal/prefix"
+)
+
+// FilterKind discriminates Filter nodes.
+type FilterKind uint8
+
+const (
+	// FilterAny is the ANY keyword: matches every route.
+	FilterAny FilterKind = iota
+	// FilterNone is "NOT ANY": matches nothing.
+	FilterNone
+	// FilterPeerAS matches routes originated by the peering's AS,
+	// interpreted dynamically at verification time.
+	FilterPeerAS
+	// FilterASN matches routes whose prefix appears in a route object
+	// originated by ASN, widened by Op.
+	FilterASN
+	// FilterAsSet matches routes originated by any member of the
+	// as-set, widened by Op.
+	FilterAsSet
+	// FilterRouteSet matches prefixes in the route-set, widened by Op
+	// (the widening on a set name is the nonstandard-but-common syntax
+	// the paper explicitly supports).
+	FilterRouteSet
+	// FilterFilterSet dereferences a filter-set object.
+	FilterFilterSet
+	// FilterPrefixSet is an explicit prefix list { p1, p2, ... }.
+	FilterPrefixSet
+	// FilterPathRegex is an AS-path regular expression <...>.
+	FilterPathRegex
+	// FilterCommunity is community(...) / community.contains(...);
+	// parsed but skipped during verification, as in the paper, because
+	// communities may be stripped in flight.
+	FilterCommunity
+	// FilterAnd, FilterOr, FilterNot are composite policy filters.
+	FilterAnd
+	// FilterOr unions two filters.
+	FilterOr
+	// FilterNot complements a filter.
+	FilterNot
+	// FilterUnsupported preserves text RPSLyzer cannot interpret (e.g.
+	// an inline prefix set followed by a range operator); rules
+	// containing it verify as Skip.
+	FilterUnsupported
+)
+
+var filterKindNames = [...]string{
+	"any", "none", "peer-as", "as-num", "as-set", "route-set",
+	"filter-set", "prefix-set", "path-regex", "community",
+	"and", "or", "not", "unsupported",
+}
+
+// String renders the kind.
+func (k FilterKind) String() string {
+	if int(k) < len(filterKindNames) {
+		return filterKindNames[k]
+	}
+	return "invalid"
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (k FilterKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *FilterKind) UnmarshalText(b []byte) error {
+	for i, n := range filterKindNames {
+		if n == string(b) {
+			*k = FilterKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("ir: bad filter kind %q", b)
+}
+
+// Filter is a policy filter AST node (RFC 2622 section 5.4).
+type Filter struct {
+	Kind FilterKind `json:"kind"`
+	// ASN is set for FilterASN.
+	ASN ASN `json:"asn,omitempty"`
+	// Name is the referenced set name for FilterAsSet, FilterRouteSet,
+	// FilterFilterSet; upper-cased.
+	Name string `json:"name,omitempty"`
+	// Op is the range operator applied to an ASN or set reference.
+	Op prefix.RangeOp `json:"op,omitempty"`
+	// Prefixes is set for FilterPrefixSet.
+	Prefixes []prefix.Range `json:"prefixes,omitempty"`
+	// Regex is set for FilterPathRegex.
+	Regex *PathRegex `json:"regex,omitempty"`
+	// Call preserves the raw community method and arguments for
+	// FilterCommunity, e.g. "(65535:666)" or ".contains(64496:1)".
+	Call string `json:"call,omitempty"`
+	// Left and Right are set for composites; FilterNot uses Left only.
+	Left  *Filter `json:"left,omitempty"`
+	Right *Filter `json:"right,omitempty"`
+	// Raw preserves uninterpretable text for FilterUnsupported.
+	Raw string `json:"raw,omitempty"`
+}
+
+// String renders the filter in RPSL-like syntax for diagnostics.
+func (f *Filter) String() string {
+	if f == nil {
+		return "<nil>"
+	}
+	switch f.Kind {
+	case FilterAny:
+		return "ANY"
+	case FilterNone:
+		return "NOT ANY"
+	case FilterPeerAS:
+		return "PeerAS" + f.Op.String()
+	case FilterASN:
+		return f.ASN.String() + f.Op.String()
+	case FilterAsSet, FilterRouteSet, FilterFilterSet:
+		return f.Name + f.Op.String()
+	case FilterPrefixSet:
+		parts := make([]string, len(f.Prefixes))
+		for i, p := range f.Prefixes {
+			parts[i] = p.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case FilterPathRegex:
+		return "<" + f.Regex.String() + ">"
+	case FilterCommunity:
+		return "community" + f.Call
+	case FilterAnd:
+		return "(" + f.Left.String() + " AND " + f.Right.String() + ")"
+	case FilterOr:
+		return "(" + f.Left.String() + " OR " + f.Right.String() + ")"
+	case FilterNot:
+		return "NOT " + f.Left.String()
+	case FilterUnsupported:
+		return "<?unsupported " + f.Raw + ">"
+	}
+	return "<invalid>"
+}
+
+// Walk visits f and every descendant filter in pre-order.
+func (f *Filter) Walk(visit func(*Filter)) {
+	if f == nil {
+		return
+	}
+	visit(f)
+	f.Left.Walk(visit)
+	f.Right.Walk(visit)
+}
+
+// ContainsKind reports whether the filter tree contains a node of kind k.
+func (f *Filter) ContainsKind(k FilterKind) bool {
+	found := false
+	f.Walk(func(n *Filter) {
+		if n.Kind == k {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,349 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/prefix"
+)
+
+func TestParseASN(t *testing.T) {
+	tests := []struct {
+		in   string
+		want ASN
+		err  bool
+	}{
+		{"AS64496", 64496, false},
+		{"as64496", 64496, false},
+		{"AS0", 0, false},
+		{"AS4294967295", 4294967295, false},
+		{"AS1.10", 1<<16 | 10, false},
+		{"64496", 0, true},
+		{"AS", 0, true},
+		{"AS-FOO", 0, true},
+		{"ASX", 0, true},
+		{"AS4294967296", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseASN(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseASN(%q) err=%v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseASN(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if got := ASN(174).String(); got != "AS174" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIsASN(t *testing.T) {
+	if !IsASN("AS3356") || IsASN("AS-SET") || IsASN("10.0.0.0/8") {
+		t.Error("IsASN misclassification")
+	}
+}
+
+func TestParseAFIToken(t *testing.T) {
+	tests := []struct {
+		in   string
+		want AFI
+	}{
+		{"any", AFI{IPv4: true, IPv6: true, Unicast: true, Multicast: true}},
+		{"any.unicast", AFI{IPv4: true, IPv6: true, Unicast: true}},
+		{"ipv4.unicast", AFI{IPv4: true, Unicast: true}},
+		{"ipv6.multicast", AFI{IPv6: true, Multicast: true}},
+		{"IPV4", AFI{IPv4: true, Unicast: true, Multicast: true}},
+	}
+	for _, tc := range tests {
+		got, err := ParseAFIToken(tc.in)
+		if err != nil {
+			t.Errorf("ParseAFIToken(%q) error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseAFIToken(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseAFIToken("ipx"); err == nil {
+		t.Error("bad afi accepted")
+	}
+	if _, err := ParseAFIToken("ipv4.anycast"); err == nil {
+		t.Error("bad cast accepted")
+	}
+}
+
+func TestAFIMatchesPrefix(t *testing.T) {
+	v4 := prefix.MustParse("10.0.0.0/8")
+	v6 := prefix.MustParse("2001:db8::/32")
+	if !AFIIPv4Unicast.MatchesPrefix(v4) || AFIIPv4Unicast.MatchesPrefix(v6) {
+		t.Error("AFIIPv4Unicast wrong")
+	}
+	if !AFIAnyUnicast.MatchesPrefix(v4) || !AFIAnyUnicast.MatchesPrefix(v6) {
+		t.Error("AFIAnyUnicast wrong")
+	}
+}
+
+func TestAFIString(t *testing.T) {
+	cases := map[string]AFI{
+		"any":          {IPv4: true, IPv6: true, Unicast: true, Multicast: true},
+		"any.unicast":  {IPv4: true, IPv6: true, Unicast: true},
+		"ipv4.unicast": {IPv4: true, Unicast: true},
+		"ipv6":         {IPv6: true, Unicast: true, Multicast: true},
+		"none":         {},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestAFIUnion(t *testing.T) {
+	got := AFI{IPv4: true, Unicast: true}.Union(AFI{IPv6: true, Multicast: true})
+	want := AFI{IPv4: true, IPv6: true, Unicast: true, Multicast: true}
+	if got != want {
+		t.Errorf("Union = %+v", got)
+	}
+}
+
+func TestDirectionRoundTrip(t *testing.T) {
+	for _, d := range []Direction{DirImport, DirExport} {
+		b, err := d.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d2 Direction
+		if err := d2.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if d2 != d {
+			t.Errorf("round trip %v -> %v", d, d2)
+		}
+	}
+	var d Direction
+	if err := d.UnmarshalText([]byte("sideways")); err == nil {
+		t.Error("bad direction accepted")
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	f := &Filter{
+		Kind: FilterAnd,
+		Left: &Filter{Kind: FilterAny},
+		Right: &Filter{Kind: FilterNot, Left: &Filter{
+			Kind: FilterPrefixSet,
+			Prefixes: []prefix.Range{
+				{Prefix: prefix.MustParse("0.0.0.0/0")},
+			},
+		}},
+	}
+	want := "(ANY AND NOT {0.0.0.0/0})"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFilterWalkAndContainsKind(t *testing.T) {
+	f := &Filter{
+		Kind:  FilterOr,
+		Left:  &Filter{Kind: FilterASN, ASN: 64496},
+		Right: &Filter{Kind: FilterCommunity, Call: "(65535:666)"},
+	}
+	n := 0
+	f.Walk(func(*Filter) { n++ })
+	if n != 3 {
+		t.Errorf("Walk visited %d nodes, want 3", n)
+	}
+	if !f.ContainsKind(FilterCommunity) {
+		t.Error("ContainsKind(FilterCommunity) = false")
+	}
+	if f.ContainsKind(FilterPathRegex) {
+		t.Error("ContainsKind(FilterPathRegex) = true")
+	}
+}
+
+func TestASExprString(t *testing.T) {
+	e := &ASExpr{
+		Kind: ASExprExcept,
+		Left: &ASExpr{Kind: ASExprAny},
+		Right: &ASExpr{
+			Kind:  ASExprOr,
+			Left:  &ASExpr{Kind: ASExprNum, ASN: 40027},
+			Right: &ASExpr{Kind: ASExprNum, ASN: 63293},
+		},
+	}
+	want := "(AS-ANY EXCEPT (AS40027 OR AS63293))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[string]Action{
+		"pref = 100":                 {Attr: "pref", Op: "=", Value: "100"},
+		"community .= { 64628:20 }":  {Attr: "community", Op: ".=", Value: "{ 64628:20 }"},
+		"community.delete(64628:10)": {Attr: "community", Op: "delete", Value: "64628:10"},
+		"rtraction":                  {Attr: "rtraction"},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Action.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPathRegexString(t *testing.T) {
+	r := &PathRegex{
+		AnchorBegin: true,
+		AnchorEnd:   true,
+		Root: &PathNode{
+			Kind: PathConcat,
+			Children: []*PathNode{
+				{Kind: PathToken, Term: &PathTerm{Kind: PathASN, ASN: 13911}},
+				{Kind: PathRepeat, Min: 1, Max: -1, Children: []*PathNode{
+					{Kind: PathToken, Term: &PathTerm{Kind: PathASN, ASN: 6327}},
+				}},
+			},
+		},
+	}
+	want := "^AS13911 AS6327+$"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPathRegexWalkTerms(t *testing.T) {
+	r := &PathRegex{Root: &PathNode{
+		Kind: PathConcat,
+		Children: []*PathNode{
+			{Kind: PathToken, Term: &PathTerm{Kind: PathSet, Name: "AS-FOO"}},
+			{Kind: PathToken, Term: &PathTerm{Kind: PathClass, Elems: []*PathTerm{
+				{Kind: PathASN, ASN: 1},
+				{Kind: PathSet, Name: "AS-BAR"},
+			}}},
+		},
+	}}
+	var sets []string
+	r.WalkTerms(func(t *PathTerm) {
+		if t.Kind == PathSet {
+			sets = append(sets, t.Name)
+		}
+	})
+	if len(sets) != 2 || sets[0] != "AS-FOO" || sets[1] != "AS-BAR" {
+		t.Errorf("sets = %v", sets)
+	}
+}
+
+func TestIRJSONRoundTrip(t *testing.T) {
+	x := New()
+	x.AutNums[64496] = &AutNum{
+		ASN:  64496,
+		Name: "EXAMPLE",
+		Imports: []Rule{{
+			Dir: DirImport,
+			Expr: &PolicyExpr{
+				Kind: PolicyTerm,
+				Factors: []PolicyFactor{{
+					Peerings: []PeeringAction{{
+						Peering: Peering{ASExpr: &ASExpr{Kind: ASExprNum, ASN: 64497}},
+						Actions: []Action{{Attr: "pref", Op: "=", Value: "100"}},
+					}},
+					Filter: &Filter{Kind: FilterAny},
+				}},
+			},
+			Raw: "from AS64497 action pref=100; accept ANY",
+		}},
+		Source: "RIPE",
+	}
+	x.AsSets["AS-EXAMPLE"] = &AsSet{
+		Name: "AS-EXAMPLE", MemberASNs: []ASN{64496}, MemberSets: []string{"AS-OTHER"},
+	}
+	x.RouteSets["RS-EXAMPLE"] = &RouteSet{
+		Name: "RS-EXAMPLE",
+		Members: []RouteSetMember{
+			{Kind: RSMemberPrefix, Prefix: prefix.Range{Prefix: prefix.MustParse("192.0.2.0/24"), Op: prefix.RangeOp{Kind: prefix.RangePlus}}},
+			{Kind: RSMemberASN, ASN: 64496},
+		},
+	}
+	x.Routes = append(x.Routes, &RouteObject{
+		Prefix: prefix.MustParse("192.0.2.0/24"), Origin: 64496, Source: "RADB",
+	})
+	x.Errors = append(x.Errors, ParseError{Kind: "syntax", Msg: "test"})
+	x.CountObject("RIPE", "aut-num")
+
+	var buf bytes.Buffer
+	if err := x.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, ok := y.AutNums[64496]
+	if !ok {
+		t.Fatal("aut-num lost in round trip")
+	}
+	if an.Imports[0].Expr.Factors[0].Filter.Kind != FilterAny {
+		t.Error("filter kind lost")
+	}
+	if an.Imports[0].Expr.Factors[0].Peerings[0].Peering.ASExpr.ASN != 64497 {
+		t.Error("peering lost")
+	}
+	if y.RouteSets["RS-EXAMPLE"].Members[0].Prefix.Op.Kind != prefix.RangePlus {
+		t.Error("route-set member op lost")
+	}
+	if len(y.Routes) != 1 || y.Routes[0].Origin != 64496 {
+		t.Error("route object lost")
+	}
+	if y.Counts["RIPE"]["aut-num"] != 1 {
+		t.Error("counts lost")
+	}
+}
+
+func TestJSONEnumsAreReadable(t *testing.T) {
+	f := &Filter{Kind: FilterAsSet, Name: "AS-HANABI"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"as-set"`) {
+		t.Errorf("filter kind should marshal as name, got %s", b)
+	}
+}
+
+func TestReadJSONEmpty(t *testing.T) {
+	x, err := ReadJSON(strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maps must be usable after reading an empty document.
+	x.AutNums[1] = &AutNum{ASN: 1}
+	x.AsSets["AS-X"] = &AsSet{Name: "AS-X"}
+	x.CountObject("T", "route")
+}
+
+func TestRuleCount(t *testing.T) {
+	a := &AutNum{Imports: make([]Rule, 3), Exports: make([]Rule, 2)}
+	if a.RuleCount() != 5 {
+		t.Errorf("RuleCount = %d", a.RuleCount())
+	}
+}
+
+func TestSortedAutNums(t *testing.T) {
+	x := New()
+	for _, a := range []ASN{5, 1, 3} {
+		x.AutNums[a] = &AutNum{ASN: a}
+	}
+	got := x.SortedAutNums()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("SortedAutNums = %v", got)
+	}
+}

@@ -1,0 +1,298 @@
+package irr
+
+import (
+	"sort"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+)
+
+// tarjan computes strongly connected components of a directed graph
+// over string-named nodes. Components are returned in reverse
+// topological order of the condensation: every edge leaving a
+// component points into an earlier-returned component.
+func tarjan(nodes []string, edges map[string][]string) [][]string {
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	// Iterative Tarjan to survive deep as-set chains without blowing
+	// the goroutine stack.
+	type frame struct {
+		node string
+		ei   int
+	}
+	for _, start := range nodes {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.ei < len(edges[f.node]) {
+				w := edges[f.node][f.ei]
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Done with f.node.
+			if low[f.node] == index[f.node] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.node {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[f.node] < low[parent] {
+					low[parent] = low[f.node]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// flattenAsSets computes the transitive member closure, depth, and
+// loop participation of every as-set using the SCC condensation.
+func (db *Database) flattenAsSets() {
+	sets := db.IR.AsSets
+	nodes := make([]string, 0, len(sets))
+	edges := make(map[string][]string, len(sets))
+	for name, s := range sets {
+		nodes = append(nodes, name)
+		for _, m := range s.MemberSets {
+			if _, recorded := sets[m]; recorded {
+				edges[name] = append(edges[name], m)
+			}
+		}
+	}
+	sort.Strings(nodes) // deterministic traversal
+	sccs := tarjan(nodes, edges)
+
+	sccOf := make(map[string]int, len(nodes))
+	for i, scc := range sccs {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+
+	flat := make(map[string]*FlatAsSet, len(sets))
+	// Per-SCC aggregates, filled in reverse topological order (the
+	// order tarjan returns).
+	type sccAgg struct {
+		asns       map[ir.ASN]struct{}
+		unrecorded map[string]struct{}
+		depth      int
+	}
+	aggs := make([]sccAgg, len(sccs))
+	for i, scc := range sccs {
+		agg := sccAgg{
+			asns:       make(map[ir.ASN]struct{}),
+			unrecorded: make(map[string]struct{}),
+		}
+		selfLoop := false
+		maxChildDepth := 0
+		recursive := false
+		for _, name := range scc {
+			s := sets[name]
+			for _, asn := range s.MemberASNs {
+				agg.asns[asn] = struct{}{}
+			}
+			for _, asn := range db.asSetIndirect[name] {
+				agg.asns[asn] = struct{}{}
+			}
+			for _, m := range s.MemberSets {
+				recursive = true
+				child, recorded := sccOf[m]
+				if !recorded {
+					agg.unrecorded[m] = struct{}{}
+					continue
+				}
+				if child == i {
+					selfLoop = true
+					continue
+				}
+				for a := range aggs[child].asns {
+					agg.asns[a] = struct{}{}
+				}
+				for u := range aggs[child].unrecorded {
+					agg.unrecorded[u] = struct{}{}
+				}
+				if aggs[child].depth > maxChildDepth {
+					maxChildDepth = aggs[child].depth
+				}
+			}
+		}
+		agg.depth = len(scc) + maxChildDepth
+		aggs[i] = agg
+		inLoop := len(scc) > 1 || selfLoop
+		for _, name := range scc {
+			unrec := make([]string, 0, len(agg.unrecorded))
+			for u := range agg.unrecorded {
+				unrec = append(unrec, u)
+			}
+			sort.Strings(unrec)
+			flat[name] = &FlatAsSet{
+				Name:       name,
+				ASNs:       agg.asns,
+				Unrecorded: unrec,
+				Depth:      agg.depth,
+				InLoop:     inLoop,
+				Recursive:  recursive || len(sets[name].MemberSets) > 0,
+			}
+		}
+	}
+	// Fix Recursive per set (it is a per-set property, not per-SCC).
+	for name, s := range sets {
+		flat[name].Recursive = len(s.MemberSets) > 0
+	}
+	db.flatAsSets = flat
+}
+
+// flattenRouteSets computes the prefix closure of every route-set.
+// Route-set members may be prefixes, other route-sets (with optional
+// range operators), as-sets, or ASNs; as-sets and ASNs contribute the
+// prefixes of their route objects, and the member origins are recorded
+// for the relaxed "missing routes" check.
+func (db *Database) flattenRouteSets() {
+	sets := db.IR.RouteSets
+	nodes := make([]string, 0, len(sets))
+	edges := make(map[string][]string, len(sets))
+	for name, s := range sets {
+		nodes = append(nodes, name)
+		for _, m := range s.Members {
+			if m.Kind == ir.RSMemberSet {
+				if _, recorded := sets[m.Name]; recorded {
+					edges[name] = append(edges[name], m.Name)
+				}
+			}
+		}
+	}
+	sort.Strings(nodes)
+	sccs := tarjan(nodes, edges)
+	sccOf := make(map[string]int, len(nodes))
+	for i, scc := range sccs {
+		for _, n := range scc {
+			sccOf[n] = i
+		}
+	}
+
+	type sccAgg struct {
+		ranges     []prefix.Range
+		origins    map[ir.ASN]struct{}
+		unrecorded map[string]struct{}
+	}
+	aggs := make([]sccAgg, len(sccs))
+	flat := make(map[string]*FlatRouteSet, len(sets))
+	for i, scc := range sccs {
+		agg := sccAgg{
+			origins:    make(map[ir.ASN]struct{}),
+			unrecorded: make(map[string]struct{}),
+		}
+		selfLoop := false
+		for _, name := range scc {
+			s := sets[name]
+			agg.ranges = append(agg.ranges, db.routeSetIndirect[name]...)
+			for _, m := range s.Members {
+				switch m.Kind {
+				case ir.RSMemberPrefix:
+					agg.ranges = append(agg.ranges, m.Prefix)
+				case ir.RSMemberASN:
+					agg.origins[m.ASN] = struct{}{}
+					if t, ok := db.routesByOrigin[m.ASN]; ok {
+						for _, e := range t.Entries() {
+							agg.ranges = append(agg.ranges,
+								prefix.Range{Prefix: e.Prefix, Op: prefix.Compose(e.Op, m.Op)})
+						}
+					}
+				case ir.RSMemberSet:
+					// An as-set member contributes the route objects of
+					// its flattened member ASes.
+					if fa, ok := db.flatAsSets[m.Name]; ok {
+						for asn := range fa.ASNs {
+							agg.origins[asn] = struct{}{}
+							if t, ok := db.routesByOrigin[asn]; ok {
+								for _, e := range t.Entries() {
+									agg.ranges = append(agg.ranges,
+										prefix.Range{Prefix: e.Prefix, Op: prefix.Compose(e.Op, m.Op)})
+								}
+							}
+						}
+						continue
+					}
+					child, recorded := sccOf[m.Name]
+					if !recorded {
+						agg.unrecorded[m.Name] = struct{}{}
+						continue
+					}
+					if child == i {
+						selfLoop = true
+						continue
+					}
+					for _, r := range aggs[child].ranges {
+						agg.ranges = append(agg.ranges,
+							prefix.Range{Prefix: r.Prefix, Op: prefix.Compose(r.Op, m.Op)})
+					}
+					for a := range aggs[child].origins {
+						agg.origins[a] = struct{}{}
+					}
+					for u := range aggs[child].unrecorded {
+						agg.unrecorded[u] = struct{}{}
+					}
+				}
+			}
+		}
+		aggs[i] = agg
+		inLoop := len(scc) > 1 || selfLoop
+		tbl := prefix.NewTable(agg.ranges)
+		for _, name := range scc {
+			unrec := make([]string, 0, len(agg.unrecorded))
+			for u := range agg.unrecorded {
+				unrec = append(unrec, u)
+			}
+			sort.Strings(unrec)
+			flat[name] = &FlatRouteSet{
+				Name:       name,
+				Table:      tbl,
+				Origins:    agg.origins,
+				Unrecorded: unrec,
+				InLoop:     inLoop,
+			}
+		}
+	}
+	db.flatRouteSets = flat
+}

@@ -1,0 +1,236 @@
+// Package irr provides the merged, indexed IRR database the verifier
+// queries: route objects indexed by origin, recursively flattened
+// as-sets and route-sets (cycle-safe via strongly connected
+// components), members-by-reference resolution, and the set-graph
+// analysis behind the paper's as-set pathology census.
+package irr
+
+import (
+	"sync"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+)
+
+// Database wraps an IR with the indexes needed for interpretation.
+// A Database is immutable after New and safe for concurrent use.
+type Database struct {
+	IR *ir.IR
+
+	// routesByOrigin maps each origin AS to its route-object prefixes.
+	routesByOrigin map[ir.ASN]*prefix.Table
+
+	// originsByPrefix maps an exact prefix to the origins of its route
+	// objects (the paper's multi-origin analysis and the Export Self
+	// relaxation both need this reverse index).
+	originsByPrefix map[prefix.Prefix][]ir.ASN
+
+	// asSetIndirect lists ASNs joined to each as-set via member-of +
+	// mbrs-by-ref; routeSetIndirect likewise for route objects.
+	asSetIndirect    map[string][]ir.ASN
+	routeSetIndirect map[string][]prefix.Range
+
+	// flatAsSets holds the flattened member ASNs of every as-set,
+	// computed once via SCC condensation.
+	flatAsSets map[string]*FlatAsSet
+
+	// flatRouteSets holds the flattened prefix ranges of every
+	// route-set.
+	flatRouteSets map[string]*FlatRouteSet
+
+	// asSetTables lazily materializes the merged route table of an
+	// as-set's flattened members (the hot path of filter matching).
+	mu          sync.Mutex
+	asSetTables map[string]*prefix.Table
+}
+
+// FlatAsSet is the flattened view of one as-set.
+type FlatAsSet struct {
+	Name string
+	// ASNs is the transitive member-AS closure.
+	ASNs map[ir.ASN]struct{}
+	// Unrecorded lists referenced as-set names absent from the IRR.
+	Unrecorded []string
+	// Depth is the length of the longest reference chain starting at
+	// this set, counting the set itself (a set with only ASN members
+	// has depth 1). Sets inside a reference cycle count the cycle once.
+	Depth int
+	// InLoop marks sets on a reference cycle (self-loops included).
+	InLoop bool
+	// Recursive marks sets that reference at least one other set.
+	Recursive bool
+}
+
+// FlatRouteSet is the flattened view of one route-set.
+type FlatRouteSet struct {
+	Name string
+	// Table holds the accumulated prefix ranges.
+	Table *prefix.Table
+	// Origins collects ASNs referenced as members (their route objects
+	// contribute prefixes, and relaxed verification uses the origin
+	// check on them).
+	Origins map[ir.ASN]struct{}
+	// Unrecorded lists referenced set names absent from the IRR.
+	Unrecorded []string
+	// InLoop marks route-sets on a reference cycle.
+	InLoop bool
+}
+
+// New builds the indexed database from an IR.
+func New(x *ir.IR) *Database {
+	db := &Database{
+		IR:               x,
+		routesByOrigin:   make(map[ir.ASN]*prefix.Table),
+		asSetIndirect:    make(map[string][]ir.ASN),
+		routeSetIndirect: make(map[string][]prefix.Range),
+		asSetTables:      make(map[string]*prefix.Table),
+	}
+	db.indexRoutes()
+	db.indexMembersByRef()
+	db.flattenAsSets()
+	db.flattenRouteSets()
+	return db
+}
+
+// indexRoutes builds per-origin route tables and the reverse
+// prefix-to-origins index.
+func (db *Database) indexRoutes() {
+	byOrigin := make(map[ir.ASN][]prefix.Range)
+	db.originsByPrefix = make(map[prefix.Prefix][]ir.ASN)
+	for _, r := range db.IR.Routes {
+		byOrigin[r.Origin] = append(byOrigin[r.Origin], prefix.Range{Prefix: r.Prefix})
+		found := false
+		for _, o := range db.originsByPrefix[r.Prefix] {
+			if o == r.Origin {
+				found = true
+				break
+			}
+		}
+		if !found {
+			db.originsByPrefix[r.Prefix] = append(db.originsByPrefix[r.Prefix], r.Origin)
+		}
+	}
+	for asn, ranges := range byOrigin {
+		db.routesByOrigin[asn] = prefix.NewTable(ranges)
+	}
+}
+
+// OriginsOf returns the origins of route objects registered for
+// exactly this prefix.
+func (db *Database) OriginsOf(p prefix.Prefix) []ir.ASN {
+	return db.originsByPrefix[p]
+}
+
+// indexMembersByRef resolves "members by reference": an aut-num (or
+// route object) with member-of: S joins set S iff S's mbrs-by-ref
+// names one of the object's maintainers, or is ANY.
+func (db *Database) indexMembersByRef() {
+	for asn, an := range db.IR.AutNums {
+		for _, setName := range an.MemberOfs {
+			set, ok := db.IR.AsSets[setName]
+			if !ok || !mbrsByRefAllows(set.MbrsByRef, an.MntBys) {
+				continue
+			}
+			db.asSetIndirect[setName] = append(db.asSetIndirect[setName], asn)
+		}
+	}
+	for _, r := range db.IR.Routes {
+		for _, setName := range r.MemberOfs {
+			set, ok := db.IR.RouteSets[setName]
+			if !ok || !mbrsByRefAllows(set.MbrsByRef, r.MntBys) {
+				continue
+			}
+			db.routeSetIndirect[setName] = append(db.routeSetIndirect[setName],
+				prefix.Range{Prefix: r.Prefix})
+		}
+	}
+}
+
+// mbrsByRefAllows implements the RFC 2622 membership-by-reference
+// check.
+func mbrsByRefAllows(mbrsByRef, mntBys []string) bool {
+	for _, m := range mbrsByRef {
+		if m == "ANY" {
+			return true
+		}
+		for _, mnt := range mntBys {
+			if m == mnt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AutNum returns the aut-num object for an AS, if recorded.
+func (db *Database) AutNum(asn ir.ASN) (*ir.AutNum, bool) {
+	an, ok := db.IR.AutNums[asn]
+	return an, ok
+}
+
+// RouteTable returns the table of prefixes with route objects
+// originated by asn. The second result is false when the AS never
+// appears as an origin (a "zero-route AS" in the paper's terms).
+func (db *Database) RouteTable(asn ir.ASN) (*prefix.Table, bool) {
+	t, ok := db.routesByOrigin[asn]
+	return t, ok
+}
+
+// AsSet returns the flattened as-set, if recorded.
+func (db *Database) AsSet(name string) (*FlatAsSet, bool) {
+	f, ok := db.flatAsSets[name]
+	return f, ok
+}
+
+// RouteSet returns the flattened route-set, if recorded.
+func (db *Database) RouteSet(name string) (*FlatRouteSet, bool) {
+	f, ok := db.flatRouteSets[name]
+	return f, ok
+}
+
+// FilterSet returns the named filter-set object, if recorded.
+func (db *Database) FilterSet(name string) (*ir.FilterSet, bool) {
+	fs, ok := db.IR.FilterSets[name]
+	return fs, ok
+}
+
+// PeeringSet returns the named peering-set object, if recorded.
+func (db *Database) PeeringSet(name string) (*ir.PeeringSet, bool) {
+	ps, ok := db.IR.PeeringSets[name]
+	return ps, ok
+}
+
+// AsSetContains implements asregex.Resolver: membership of asn in the
+// flattened as-set.
+func (db *Database) AsSetContains(name string, asn ir.ASN) (bool, bool) {
+	f, ok := db.flatAsSets[name]
+	if !ok {
+		return false, false
+	}
+	_, contains := f.ASNs[asn]
+	return contains, true
+}
+
+// AsSetPrefixTable returns the merged route table of the as-set's
+// flattened members, materialized lazily and cached. ok is false when
+// the set is unrecorded.
+func (db *Database) AsSetPrefixTable(name string) (*prefix.Table, bool) {
+	f, ok := db.flatAsSets[name]
+	if !ok {
+		return nil, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, cached := db.asSetTables[name]; cached {
+		return t, true
+	}
+	var ranges []prefix.Range
+	for asn := range f.ASNs {
+		if t, ok := db.routesByOrigin[asn]; ok {
+			ranges = append(ranges, t.Entries()...)
+		}
+	}
+	t := prefix.NewTable(ranges)
+	db.asSetTables[name] = t
+	return t, true
+}

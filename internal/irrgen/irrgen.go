@@ -1,0 +1,709 @@
+// Package irrgen emits a synthetic Internet Routing Registry: RPSL
+// flat-file dumps for 13 named IRRs covering a generated AS topology,
+// with adoption rates, rule styles, misuses, pathological as-sets,
+// route-object clutter, and syntax errors calibrated to the rates the
+// paper measures in Section 4 and explains in Section 5. It is the
+// substrate standing in for the paper's 6.9 GiB of June 2023 dumps.
+//
+// The generator emits *text*, not IR, so every experiment exercises
+// the full lexing/parsing path of the tool under test.
+package irrgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/topology"
+)
+
+// IRRs is the fixed registry list with priority order matching the
+// paper's Table 1 (authoritative regional and national registries
+// first, then RADB, then other databases).
+var IRRs = []string{
+	"APNIC", "AFRINIC", "ARIN", "LACNIC", "RIPE",
+	"IDNIC", "JPIRR",
+	"RADB",
+	"NTTCOM", "LEVEL3", "TC", "REACH", "ALTDB",
+}
+
+// regionWeights drives home-IRR assignment; RIPE and APNIC dominate,
+// like the real registries.
+var regionWeights = map[string]int{
+	"APNIC": 22, "AFRINIC": 3, "ARIN": 5, "LACNIC": 3, "RIPE": 38,
+	"IDNIC": 3, "JPIRR": 2, "RADB": 14, "NTTCOM": 3, "LEVEL3": 2,
+	"TC": 3, "REACH": 1, "ALTDB": 1,
+}
+
+// Config sets the adoption and misuse rates. Zero values take the
+// paper-calibrated defaults.
+type Config struct {
+	Seed int64
+
+	// MissingAutNumFrac: ASes with no aut-num object anywhere (the
+	// paper's 27.2%).
+	MissingAutNumFrac float64
+	// NoRulesFrac: of the remaining aut-nums, those declaring no rules
+	// (the paper's 35.2% of aut-nums).
+	NoRulesFrac float64
+
+	// Neighbor-coverage probabilities for rule-writing ASes. Low peer
+	// coverage drives the paper's headline result that most unverified
+	// hops traverse undeclared peerings.
+	ProviderRuleFrac float64
+	CustomerRuleFrac float64
+	PeerRuleFrac     float64
+
+	// ExportSelfFrac: transit ASes announcing only themselves to
+	// providers/peers (the paper's 64.4% of transit ASes).
+	ExportSelfFrac float64
+	// ImportCustomerFrac: transit ASes importing "from C accept C"
+	// (the paper's 29.8%).
+	ImportCustomerFrac float64
+	// OnlyProviderFrac: transit ASes with rules only for providers
+	// (the paper's 0.44%).
+	OnlyProviderFrac float64
+
+	// MissingRouteFrac: fraction of prefixes whose route objects are
+	// missing.
+	MissingRouteFrac float64
+	// StaleRouteFactor: extra, never-announced route objects per real
+	// prefix (the paper finds ~3x more registered prefixes than in BGP).
+	StaleRouteFactor float64
+	// MultiOriginFrac: prefixes additionally registered with a wrong
+	// origin.
+	MultiOriginFrac float64
+	// ProxyRegFrac: customer prefixes also registered by the provider.
+	ProxyRegFrac float64
+	// CrossIRRFrac: objects duplicated into a second IRR.
+	CrossIRRFrac float64
+
+	// CompoundFrac: rule-writing ASes using compound rules (regex
+	// filters, NOT, refine) for some rules.
+	CompoundFrac float64
+	// CommunityFilterFrac: ASes with a community(...) filter rule
+	// (skipped by verification, like the paper's 54 rules).
+	CommunityFilterFrac float64
+	// UnrecordedRefFrac: rules referencing an as-set that is never
+	// defined.
+	UnrecordedRefFrac float64
+
+	// Pathological as-set rates (fractions of all as-sets, on top of
+	// the customer sets): empty, single-member, and loops.
+	EmptySetFrac  float64
+	LoopSetFrac   float64
+	DeepChainSets int
+
+	// SyntaxErrorCount: number of deliberately malformed objects.
+	SyntaxErrorCount int
+}
+
+func (c *Config) fill() {
+	def := func(p *float64, v float64) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.MissingAutNumFrac, 0.272)
+	def(&c.NoRulesFrac, 0.30)
+	def(&c.ProviderRuleFrac, 0.85)
+	def(&c.CustomerRuleFrac, 0.60)
+	def(&c.PeerRuleFrac, 0.12)
+	def(&c.ExportSelfFrac, 0.644)
+	def(&c.ImportCustomerFrac, 0.298)
+	def(&c.OnlyProviderFrac, 0.0044)
+	def(&c.MissingRouteFrac, 0.06)
+	def(&c.StaleRouteFactor, 1.6)
+	def(&c.MultiOriginFrac, 0.13)
+	def(&c.ProxyRegFrac, 0.28)
+	def(&c.CrossIRRFrac, 0.20)
+	def(&c.CompoundFrac, 0.06)
+	def(&c.CommunityFilterFrac, 0.004)
+	def(&c.UnrecordedRefFrac, 0.01)
+	def(&c.EmptySetFrac, 0.055)
+	def(&c.LoopSetFrac, 0.03)
+	if c.DeepChainSets == 0 {
+		c.DeepChainSets = 2
+	}
+	if c.SyntaxErrorCount == 0 {
+		c.SyntaxErrorCount = 25
+	}
+}
+
+// Universe is a generated registry: per-IRR dump text plus bookkeeping
+// for the experiments.
+type Universe struct {
+	Topo  *topology.Topology
+	Dumps map[string]*strings.Builder
+	// Profiles records what was generated for each AS (ground truth
+	// for tests).
+	Profiles map[ir.ASN]*Profile
+}
+
+// Profile is the generated RPSL posture of one AS.
+type Profile struct {
+	HasAutNum      bool
+	HasRules       bool
+	IRR            string
+	ExportSelf     bool
+	ImportCustomer bool
+	OnlyProvider   bool
+	Compound       bool
+	CustomerSet    string // name of the customers as-set, if any
+	RouteSet       string // name of the AS's route-set, if any
+	MissingRoutes  bool
+	RuleCount      int
+}
+
+// Generate builds the synthetic registry over a topology.
+func Generate(topo *topology.Topology, cfg Config) *Universe {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	u := &Universe{
+		Topo:     topo,
+		Dumps:    make(map[string]*strings.Builder),
+		Profiles: make(map[ir.ASN]*Profile),
+	}
+	for _, name := range IRRs {
+		u.Dumps[name] = &strings.Builder{}
+		fmt.Fprintf(u.Dumps[name], "%% synthetic IRR dump: %s\n\n", name)
+	}
+
+	g := &generator{cfg: cfg, rng: rng, u: u, topo: topo}
+	g.assignProfiles()
+	g.emitAutNums()
+	g.emitAsSets()
+	g.emitRouteObjects()
+	g.emitRouteSets()
+	g.emitPeeringAndFilterSets()
+	g.emitPathologies()
+	g.emitSyntaxErrors()
+	return u
+}
+
+// DumpText returns the final dump text of one IRR.
+func (u *Universe) DumpText(name string) string { return u.Dumps[name].String() }
+
+// DumpSizes returns per-IRR dump sizes in bytes (for Table 1).
+func (u *Universe) DumpSizes() map[string]int64 {
+	out := make(map[string]int64, len(u.Dumps))
+	for name, b := range u.Dumps {
+		out[name] = int64(b.Len())
+	}
+	return out
+}
+
+type generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	u    *Universe
+	topo *topology.Topology
+}
+
+// pickIRR assigns a home registry by region weight.
+func (g *generator) pickIRR() string {
+	total := 0
+	for _, name := range IRRs {
+		total += regionWeights[name]
+	}
+	n := g.rng.Intn(total)
+	for _, name := range IRRs {
+		n -= regionWeights[name]
+		if n < 0 {
+			return name
+		}
+	}
+	return "RADB"
+}
+
+// secondIRR picks a duplicate registry different from home.
+func (g *generator) secondIRR(home string) string {
+	for {
+		cand := []string{"RADB", "NTTCOM", "LEVEL3", "ALTDB", "TC"}[g.rng.Intn(5)]
+		if cand != home {
+			return cand
+		}
+	}
+}
+
+func (g *generator) assignProfiles() {
+	for _, asn := range g.topo.Order {
+		as := g.topo.ASes[asn]
+		p := &Profile{IRR: g.pickIRR()}
+		g.u.Profiles[asn] = p
+
+		p.HasAutNum = g.rng.Float64() >= g.cfg.MissingAutNumFrac
+		if !p.HasAutNum {
+			continue
+		}
+		// Large CDNs and some Tier-1s run with zero rules (paper:
+		// Microsoft, Cloudflare, five Tier-1s).
+		switch {
+		case as.Tier == topology.CDN:
+			p.HasRules = g.rng.Float64() < 0.3
+		case as.Tier == topology.Tier1:
+			p.HasRules = g.rng.Float64() < 0.5
+		default:
+			p.HasRules = g.rng.Float64() >= g.cfg.NoRulesFrac
+		}
+		if !p.HasRules {
+			continue
+		}
+		isTransit := len(g.topo.Rels.Customers(asn)) > 0
+		if isTransit {
+			p.ExportSelf = g.rng.Float64() < g.cfg.ExportSelfFrac
+			p.ImportCustomer = g.rng.Float64() < g.cfg.ImportCustomerFrac
+			p.OnlyProvider = g.rng.Float64() < g.cfg.OnlyProviderFrac
+			if !p.ExportSelf {
+				p.CustomerSet = fmt.Sprintf("AS%d:AS-CUSTOMERS", uint32(asn))
+			}
+		}
+		p.Compound = g.rng.Float64() < g.cfg.CompoundFrac
+		p.MissingRoutes = g.rng.Float64() < g.cfg.MissingRouteFrac
+		// A minority of ASes maintain route-sets (the paper recommends
+		// them but finds them underused).
+		if g.rng.Float64() < 0.08 && len(as.Prefixes) > 0 {
+			p.RouteSet = fmt.Sprintf("AS%d:RS-ROUTES", uint32(asn))
+		}
+	}
+}
+
+// write emits an object's text into the home IRR and, with the
+// cross-IRR probability, a duplicate registry. The text must already
+// contain its source attribute placeholder %SOURCE%.
+func (g *generator) write(home, objText string) {
+	fmt.Fprintf(g.u.Dumps[home], "%s\n", strings.ReplaceAll(objText, "%SOURCE%", home))
+	if g.rng.Float64() < g.cfg.CrossIRRFrac {
+		dup := g.secondIRR(home)
+		fmt.Fprintf(g.u.Dumps[dup], "%s\n", strings.ReplaceAll(objText, "%SOURCE%", dup))
+	}
+}
+
+// sortedNeighbors returns a deterministic neighbor ordering.
+func sortedASNs(in []ir.ASN) []ir.ASN {
+	out := append([]ir.ASN(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// filterFor picks the filter text an AS uses when exporting its
+// customer cone (or itself) to a neighbor.
+func (g *generator) exportFilter(asn ir.ASN, p *Profile) string {
+	if p.CustomerSet != "" {
+		return p.CustomerSet
+	}
+	return ir.ASN(asn).String()
+}
+
+func (g *generator) emitAutNums() {
+	for _, asn := range g.topo.Order {
+		p := g.u.Profiles[asn]
+		if !p.HasAutNum {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "aut-num:        %s\n", asn)
+		fmt.Fprintf(&b, "as-name:        NET-%d\n", uint32(asn))
+		fmt.Fprintf(&b, "descr:          synthetic network %d\n", uint32(asn))
+		if p.HasRules {
+			g.emitRules(&b, asn, p)
+		}
+		fmt.Fprintf(&b, "mnt-by:         MNT-AS%d\n", uint32(asn))
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		// LACNIC publishes no import/export rules (paper, Section 4):
+		// if the home IRR is LACNIC, strip rules from the emitted text.
+		home := p.IRR
+		text := b.String()
+		if home == "LACNIC" {
+			var keep []string
+			for _, line := range strings.Split(text, "\n") {
+				l := strings.ToLower(line)
+				if strings.HasPrefix(l, "import") || strings.HasPrefix(l, "export") ||
+					strings.HasPrefix(l, "mp-import") || strings.HasPrefix(l, "mp-export") ||
+					strings.HasPrefix(l, " ") || strings.HasPrefix(l, "+") {
+					// Also strips continuation lines of stripped rules;
+					// synthetic rules are single-line so this is safe.
+					if strings.HasPrefix(l, "import") || strings.HasPrefix(l, "export") ||
+						strings.HasPrefix(l, "mp-import") || strings.HasPrefix(l, "mp-export") {
+						continue
+					}
+				}
+				keep = append(keep, line)
+			}
+			text = strings.Join(keep, "\n")
+			if p.HasRules {
+				p.RuleCount = 0
+			}
+		}
+		g.write(home, text)
+	}
+}
+
+// emitRules writes the import/export attributes for one AS.
+func (g *generator) emitRules(b *strings.Builder, asn ir.ASN, p *Profile) {
+	rels := g.topo.Rels
+	self := asn.String()
+	rules := 0
+	imp := func(format string, args ...any) {
+		fmt.Fprintf(b, "import:         "+format+"\n", args...)
+		rules++
+	}
+	exp := func(format string, args ...any) {
+		fmt.Fprintf(b, "export:         "+format+"\n", args...)
+		rules++
+	}
+
+	providers := sortedASNs(rels.Providers(asn))
+	customers := sortedASNs(rels.Customers(asn))
+	peers := sortedASNs(rels.Peers(asn))
+
+	for _, prov := range providers {
+		if g.rng.Float64() >= g.cfg.ProviderRuleFrac {
+			continue
+		}
+		imp("from %s accept ANY", prov)
+		exp("to %s announce %s", prov, g.exportFilter(asn, p))
+	}
+	if p.OnlyProvider {
+		p.RuleCount = rules
+		return
+	}
+	for _, cust := range customers {
+		if g.rng.Float64() >= g.cfg.CustomerRuleFrac {
+			continue
+		}
+		custProfile := g.u.Profiles[cust]
+		switch {
+		case p.ImportCustomer:
+			// The misuse: "from C accept C" even though C has its own
+			// customers.
+			imp("from %s accept %s", cust, cust)
+		case custProfile != nil && custProfile.RouteSet != "" && g.rng.Float64() < 0.5:
+			// The paper's recommended style: accept the customer's
+			// route-set.
+			imp("from %s accept %s", cust, custProfile.RouteSet)
+		case custProfile != nil && custProfile.CustomerSet != "":
+			imp("from %s accept %s", cust, custProfile.CustomerSet)
+		case g.rng.Float64() < g.cfg.UnrecordedRefFrac:
+			imp("from %s accept AS%d:AS-GHOST", cust, uint32(cust))
+		default:
+			imp("from %s accept %s", cust, cust)
+		}
+		exp("to %s announce ANY", cust)
+	}
+	for _, peer := range peers {
+		if g.rng.Float64() >= g.cfg.PeerRuleFrac {
+			continue
+		}
+		switch g.rng.Intn(4) {
+		case 0:
+			imp("from %s accept PeerAS", peer)
+		case 1:
+			imp("from %s accept ANY", peer)
+		case 2:
+			// Peering expressed through the peer's as-set (an
+			// as-set-valued peering, Table 2's "peering" column).
+			peerProfile := g.u.Profiles[peer]
+			if peerProfile != nil && peerProfile.CustomerSet != "" {
+				imp("from %s accept ANY", peerProfile.CustomerSet)
+			} else {
+				imp("from %s accept PeerAS", peer)
+			}
+		default:
+			peerProfile := g.u.Profiles[peer]
+			if peerProfile != nil && peerProfile.CustomerSet != "" {
+				imp("from %s accept %s", peer, peerProfile.CustomerSet)
+			} else {
+				imp("from %s accept %s", peer, peer)
+			}
+		}
+		exp("to %s announce %s", peer, g.exportFilter(asn, p))
+	}
+
+	// Occasional peering-set and filter-set references (the paper
+	// finds 64 and 50 referenced, respectively).
+	if g.rng.Float64() < 0.02 {
+		imp("from PRNG-SYN-%d accept ANY", g.rng.Intn(g.prngSets()))
+	}
+	if len(providers) > 0 && g.rng.Float64() < 0.02 {
+		imp("from %s accept ANY AND NOT FLTR-SYN-%d", providers[0], g.rng.Intn(g.prngSets()))
+	}
+
+	if p.Compound && len(providers) > 0 {
+		prov := providers[0]
+		switch g.rng.Intn(3) {
+		case 0:
+			// Destination-specific preference via a path regex, like
+			// the paper's AS14595 example.
+			target := g.randomASN()
+			fmt.Fprintf(b,
+				"mp-import:      afi any.unicast from %s accept ANY AND NOT {0.0.0.0/0, ::0/0} REFINE afi ipv4.unicast from %s action pref=200; accept <^%s %s+$>\n",
+				prov, prov, prov, target)
+			rules++
+		case 1:
+			fmt.Fprintf(b, "import:         from %s action pref=100; med=0; accept NOT %s^+\n", prov, self)
+			rules++
+		default:
+			fmt.Fprintf(b, "mp-import:      afi ipv6.unicast from %s accept ANY\n", prov)
+			rules++
+		}
+	}
+	if g.rng.Float64() < g.cfg.CommunityFilterFrac {
+		fmt.Fprintf(b, "import:         from AS-ANY action pref = 65435; accept community(65535:666)\n")
+		rules++
+	}
+	p.RuleCount = rules
+}
+
+// randomASN picks any AS from the topology.
+func (g *generator) randomASN() ir.ASN {
+	return g.topo.Order[g.rng.Intn(len(g.topo.Order))]
+}
+
+// prngSets is the number of generated peering-sets / filter-sets.
+func (g *generator) prngSets() int { return len(g.topo.Order)/100 + 2 }
+
+// emitAsSets writes the customer as-sets (with occasional recursion)
+// for transit ASes that use them.
+func (g *generator) emitAsSets() {
+	for _, asn := range g.topo.Order {
+		p := g.u.Profiles[asn]
+		if p.CustomerSet == "" {
+			continue
+		}
+		customers := sortedASNs(g.topo.Rels.Customers(asn))
+		var members []string
+		members = append(members, asn.String())
+		for _, c := range customers {
+			cp := g.u.Profiles[c]
+			// Reference the customer's own set when it exists: this is
+			// what creates the recursive as-set graphs of Section 4.
+			if cp != nil && cp.CustomerSet != "" && g.rng.Float64() < 0.8 {
+				members = append(members, cp.CustomerSet)
+			} else {
+				members = append(members, c.String())
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "as-set:         %s\n", p.CustomerSet)
+		fmt.Fprintf(&b, "descr:          customers of %s\n", asn)
+		fmt.Fprintf(&b, "members:        %s\n", strings.Join(members, ", "))
+		fmt.Fprintf(&b, "mnt-by:         MNT-AS%d\n", uint32(asn))
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		g.write(p.IRR, b.String())
+	}
+}
+
+// emitRouteObjects writes route/route6 objects: real prefixes (minus
+// the missing ones), stale extras, wrong-origin duplicates, and proxy
+// registrations.
+func (g *generator) emitRouteObjects() {
+	staleCounter := 0
+	for _, asn := range g.topo.Order {
+		as := g.topo.ASes[asn]
+		p := g.u.Profiles[asn]
+		providers := g.topo.Rels.Providers(asn)
+		for _, pfx := range as.Prefixes {
+			if p.MissingRoutes {
+				continue // the whole AS forgot its route objects
+			}
+			if g.rng.Float64() < g.cfg.MissingRouteFrac {
+				continue // this prefix's object is missing
+			}
+			g.writeRoute(pfx, asn, p.IRR, fmt.Sprintf("MNT-AS%d", uint32(asn)))
+			// Wrong-origin duplicate.
+			if g.rng.Float64() < g.cfg.MultiOriginFrac {
+				other := g.randomASN()
+				if other != asn {
+					g.writeRoute(pfx, other, g.secondIRR(p.IRR), fmt.Sprintf("MNT-AS%d", uint32(other)))
+				}
+			}
+			// Proxy registration by a provider.
+			if len(providers) > 0 && g.rng.Float64() < g.cfg.ProxyRegFrac {
+				prov := providers[g.rng.Intn(len(providers))]
+				g.writeRoute(pfx, asn, g.u.Profiles[prov].IRR, fmt.Sprintf("MNT-AS%d", uint32(prov)))
+			}
+		}
+		// Stale, never-announced route objects.
+		nStale := int(float64(len(as.Prefixes)) * g.cfg.StaleRouteFactor * g.rng.Float64())
+		for i := 0; i < nStale; i++ {
+			staleCounter++
+			stale := stalePrefix(staleCounter)
+			g.writeRoute(stale, asn, p.IRR, fmt.Sprintf("MNT-AS%d", uint32(asn)))
+		}
+	}
+}
+
+// stalePrefix mints a prefix from a reserved block never used by the
+// topology allocator (198.18.0.0/15-style space scaled up: we use
+// 100.64.0.0/10 and friends via a counter under 5.0.0.0/8).
+func stalePrefix(counter int) prefix.Prefix {
+	a := byte(counter >> 16)
+	bb := byte(counter >> 8)
+	c := byte(counter)
+	return prefix.MustParse(fmt.Sprintf("5.%d.%d.0/24", a^bb, c))
+}
+
+func (g *generator) writeRoute(p prefix.Prefix, origin ir.ASN, irrName, mnt string) {
+	class := "route"
+	if p.IsIPv6() {
+		class = "route6"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:         %s\n", class, p)
+	fmt.Fprintf(&b, "origin:         %s\n", origin)
+	fmt.Fprintf(&b, "descr:          synthetic route object\n")
+	fmt.Fprintf(&b, "mnt-by:         %s\n", mnt)
+	fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+	fmt.Fprintf(g.u.Dumps[irrName], "%s\n", strings.ReplaceAll(b.String(), "%SOURCE%", irrName))
+}
+
+// emitRouteSets writes the route-sets assigned in the profiles (the
+// paper recommends them; few ASes use them).
+func (g *generator) emitRouteSets() {
+	for _, asn := range g.topo.Order {
+		p := g.u.Profiles[asn]
+		if p.RouteSet == "" {
+			continue
+		}
+		as := g.topo.ASes[asn]
+		var members []string
+		for _, pfx := range as.Prefixes {
+			if pfx.IsIPv4() {
+				members = append(members, pfx.String())
+			}
+		}
+		if len(members) == 0 {
+			p.RouteSet = ""
+			continue
+		}
+		name := p.RouteSet
+		var b strings.Builder
+		fmt.Fprintf(&b, "route-set:      %s\n", name)
+		fmt.Fprintf(&b, "members:        %s\n", strings.Join(members, ", "))
+		fmt.Fprintf(&b, "mnt-by:         MNT-AS%d\n", uint32(asn))
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		g.write(p.IRR, b.String())
+	}
+}
+
+// emitPeeringAndFilterSets writes a handful of peering-sets and
+// filter-sets (342 and 203 exist in the wild; few are referenced).
+func (g *generator) emitPeeringAndFilterSets() {
+	count := len(g.topo.Order)/100 + 2
+	for i := 0; i < count; i++ {
+		owner := g.randomASN()
+		peer := g.randomASN()
+		var b strings.Builder
+		fmt.Fprintf(&b, "peering-set:    PRNG-SYN-%d\n", i)
+		fmt.Fprintf(&b, "peering:        %s\n", peer)
+		fmt.Fprintf(&b, "mnt-by:         MNT-AS%d\n", uint32(owner))
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		g.write(g.u.Profiles[owner].IRR, b.String())
+
+		var f strings.Builder
+		fmt.Fprintf(&f, "filter-set:     FLTR-SYN-%d\n", i)
+		fmt.Fprintf(&f, "filter:         { 0.0.0.0/0^8-24 } AND NOT { 10.0.0.0/8^+, 192.168.0.0/16^+ }\n")
+		fmt.Fprintf(&f, "mnt-by:         MNT-AS%d\n", uint32(owner))
+		fmt.Fprintf(&f, "source:         %%SOURCE%%\n")
+		g.write(g.u.Profiles[owner].IRR, f.String())
+	}
+}
+
+// emitPathologies writes the as-set anomalies of Section 4: empty
+// sets, single-member sets, loops, deep chains, and a set named after
+// the reserved keyword AS-ANY.
+func (g *generator) emitPathologies() {
+	nSets := len(g.topo.Order) / 3
+	nEmpty := int(float64(nSets) * g.cfg.EmptySetFrac)
+	for i := 0; i < nEmpty; i++ {
+		owner := g.randomASN()
+		var b strings.Builder
+		fmt.Fprintf(&b, "as-set:         AS-EMPTY-%d\n", i)
+		fmt.Fprintf(&b, "descr:          forgotten set\n")
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		g.write(g.u.Profiles[owner].IRR, b.String())
+	}
+	nSingle := int(float64(nSets) * 0.125)
+	for i := 0; i < nSingle; i++ {
+		owner := g.randomASN()
+		var b strings.Builder
+		fmt.Fprintf(&b, "as-set:         AS-SINGLE-%d\n", i)
+		fmt.Fprintf(&b, "members:        %s\n", owner)
+		fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+		g.write(g.u.Profiles[owner].IRR, b.String())
+	}
+	// Loops: pairs of mutually-referencing sets.
+	nLoops := int(float64(nSets) * g.cfg.LoopSetFrac / 2)
+	for i := 0; i < nLoops; i++ {
+		a := g.randomASN()
+		bASN := g.randomASN()
+		var ba, bb strings.Builder
+		fmt.Fprintf(&ba, "as-set:         AS-LOOPA-%d\nmembers:        %s, AS-LOOPB-%d\nsource:         %%SOURCE%%\n", i, a, i)
+		fmt.Fprintf(&bb, "as-set:         AS-LOOPB-%d\nmembers:        %s, AS-LOOPA-%d\nsource:         %%SOURCE%%\n", i, bASN, i)
+		g.write(g.u.Profiles[a].IRR, ba.String())
+		g.write(g.u.Profiles[bASN].IRR, bb.String())
+	}
+	// Deep chains (depth >= 6).
+	for c := 0; c < g.cfg.DeepChainSets; c++ {
+		owner := g.randomASN()
+		const depth = 7
+		for lvl := 0; lvl < depth; lvl++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "as-set:         AS-DEEP%d-L%d\n", c, lvl)
+			if lvl < depth-1 {
+				fmt.Fprintf(&b, "members:        AS-DEEP%d-L%d\n", c, lvl+1)
+			} else {
+				fmt.Fprintf(&b, "members:        %s\n", owner)
+			}
+			fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
+			g.write(g.u.Profiles[owner].IRR, b.String())
+		}
+	}
+	// The reserved-keyword anomalies: an empty as-set named AS-ANY, and
+	// sets with the keyword ANY among their members (the paper found 3).
+	g.write("RADB", "as-set:         AS-ANY\ndescr:          an anomaly\nsource:         %SOURCE%\n")
+	for i := 0; i < 3; i++ {
+		owner := g.randomASN()
+		g.write(g.u.Profiles[owner].IRR, fmt.Sprintf(
+			"as-set:         AS-WITHANY-%d\nmembers:        %s, ANY\nsource:         %%SOURCE%%\n",
+			i, owner))
+	}
+}
+
+// emitSyntaxErrors writes deliberately malformed objects: out-of-place
+// text, broken comma lists, invalid keywords in rules, invalid set
+// names, and plain typos — the error classes the paper reports.
+func (g *generator) emitSyntaxErrors() {
+	for i := 0; i < g.cfg.SyntaxErrorCount; i++ {
+		owner := g.randomASN()
+		irrName := g.u.Profiles[owner].IRR
+		var b strings.Builder
+		switch i % 5 {
+		case 0: // out-of-place text inside an object
+			fmt.Fprintf(&b, "aut-num:        AS%d9999\n", uint32(owner)%100)
+			fmt.Fprintf(&b, "this line is not an attribute at all\n")
+			fmt.Fprintf(&b, "source:         %s\n", irrName)
+		case 1: // invalid keyword in an import rule
+			fmt.Fprintf(&b, "as-set:         AS-TYPO-%d\n", i)
+			fmt.Fprintf(&b, "members:        AS1, NOT-AN-AS, AS2\n")
+			fmt.Fprintf(&b, "source:         %s\n", irrName)
+		case 2: // invalid set name
+			fmt.Fprintf(&b, "as-set:         BROKEN-NAME-%d\n", i)
+			fmt.Fprintf(&b, "members:        AS1\n")
+			fmt.Fprintf(&b, "source:         %s\n", irrName)
+		case 3: // invalid route-set name
+			fmt.Fprintf(&b, "route-set:      WRONG-%d\n", i)
+			fmt.Fprintf(&b, "members:        192.0.2.0/24\n")
+			fmt.Fprintf(&b, "source:         %s\n", irrName)
+		default: // route object with a typo'd origin
+			fmt.Fprintf(&b, "route:          203.0.%d.0/24\n", i%256)
+			fmt.Fprintf(&b, "origin:         ASXYZ\n")
+			fmt.Fprintf(&b, "source:         %s\n", irrName)
+		}
+		fmt.Fprintf(g.u.Dumps[irrName], "%s\n", b.String())
+	}
+}

@@ -1,0 +1,151 @@
+package irrgen
+
+import (
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/topology"
+)
+
+func genSmall(t *testing.T, seed int64) *Universe {
+	t.Helper()
+	topo := topology.Generate(topology.Config{Seed: seed, ASes: 300})
+	return Generate(topo, Config{Seed: seed})
+}
+
+func TestGenerateAllIRRsPopulated(t *testing.T) {
+	u := genSmall(t, 1)
+	for _, name := range IRRs {
+		text := u.DumpText(name)
+		if len(text) < 10 {
+			t.Errorf("IRR %s dump too small", name)
+		}
+	}
+	sizes := u.DumpSizes()
+	if sizes["RIPE"] <= sizes["REACH"] {
+		t.Errorf("RIPE (%d) should outweigh REACH (%d)", sizes["RIPE"], sizes["REACH"])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t, 9)
+	topo := topology.Generate(topology.Config{Seed: 9, ASes: 300})
+	b := Generate(topo, Config{Seed: 9})
+	for _, name := range IRRs {
+		if a.DumpText(name) != b.DumpText(name) {
+			t.Fatalf("dump %s differs between runs", name)
+		}
+	}
+}
+
+func TestProfileRates(t *testing.T) {
+	u := genSmall(t, 3)
+	total, withAutNum, withRules := 0, 0, 0
+	for _, p := range u.Profiles {
+		total++
+		if p.HasAutNum {
+			withAutNum++
+			if p.HasRules {
+				withRules++
+			}
+		}
+	}
+	autFrac := float64(withAutNum) / float64(total)
+	if autFrac < 0.6 || autFrac > 0.85 {
+		t.Errorf("aut-num fraction = %.2f", autFrac)
+	}
+	ruleFrac := float64(withRules) / float64(withAutNum)
+	if ruleFrac < 0.45 || ruleFrac > 0.8 {
+		t.Errorf("rules fraction of aut-nums = %.2f", ruleFrac)
+	}
+}
+
+func TestMisusePatternsEmitted(t *testing.T) {
+	u := genSmall(t, 5)
+	all := ""
+	for _, name := range IRRs {
+		all += u.DumpText(name)
+	}
+	// Export Self: "export: to ASx announce ASself".
+	exportSelf := false
+	importCustomer := false
+	for asn, p := range u.Profiles {
+		if p.ExportSelf && p.HasRules && p.IRR != "LACNIC" {
+			if strings.Contains(all, "announce "+asn.String()+"\n") {
+				exportSelf = true
+			}
+		}
+		if p.ImportCustomer && p.HasRules {
+			importCustomer = true
+		}
+	}
+	if !exportSelf {
+		t.Error("no export-self rules emitted")
+	}
+	if !importCustomer {
+		t.Error("no import-customer profiles assigned")
+	}
+	if !strings.Contains(all, "as-set:         AS-ANY\n") {
+		t.Error("AS-ANY anomaly missing")
+	}
+	if !strings.Contains(all, "AS-EMPTY-0") || !strings.Contains(all, "AS-SINGLE-0") {
+		t.Error("pathological sets missing")
+	}
+	if !strings.Contains(all, "AS-LOOPA-0") || !strings.Contains(all, "AS-DEEP0-L6") {
+		t.Error("loops or deep chains missing")
+	}
+	// Compound rules take one of three shapes; at small scales a given
+	// seed may produce only some of them.
+	if !strings.Contains(all, "REFINE") && !strings.Contains(all, "mp-import") &&
+		!strings.Contains(all, "action pref=100") {
+		t.Error("no compound rules emitted")
+	}
+}
+
+func TestLACNICHasNoRules(t *testing.T) {
+	u := genSmall(t, 11)
+	text := u.DumpText("LACNIC")
+	for _, line := range strings.Split(text, "\n") {
+		l := strings.ToLower(line)
+		if strings.HasPrefix(l, "import:") || strings.HasPrefix(l, "export:") ||
+			strings.HasPrefix(l, "mp-import:") || strings.HasPrefix(l, "mp-export:") {
+			t.Fatalf("LACNIC contains a rule: %q", line)
+		}
+	}
+}
+
+func TestCrossIRRDuplicates(t *testing.T) {
+	u := genSmall(t, 13)
+	// Some aut-num must appear in two dumps.
+	found := false
+	for asn, p := range u.Profiles {
+		if !p.HasAutNum || p.IRR == "RADB" {
+			continue
+		}
+		needle := "aut-num:        " + asn.String() + "\n"
+		if strings.Contains(u.DumpText(p.IRR), needle) && strings.Contains(u.DumpText("RADB"), needle) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no cross-IRR duplicate aut-num found")
+	}
+}
+
+func TestSyntaxErrorsInjected(t *testing.T) {
+	u := genSmall(t, 17)
+	all := ""
+	for _, name := range IRRs {
+		all += u.DumpText(name)
+	}
+	if !strings.Contains(all, "this line is not an attribute at all") {
+		t.Error("out-of-place text not injected")
+	}
+	if !strings.Contains(all, "BROKEN-NAME-") {
+		t.Error("invalid as-set name not injected")
+	}
+	if !strings.Contains(all, "origin:         ASXYZ") {
+		t.Error("typo'd origin not injected")
+	}
+}

@@ -1,0 +1,429 @@
+// Package mrt implements the subset of the MRT export format (RFC
+// 6396) that BGP route collectors publish and the paper consumes:
+// TABLE_DUMP_V2 RIB dumps with a PEER_INDEX_TABLE and RIB_IPV4_UNICAST
+// / RIB_IPV6_UNICAST entries carrying AS_PATH (AS4) and COMMUNITIES
+// attributes. It converts between MRT bytes and bgpsim routes, so the
+// pipeline can read the binary format RIPE RIS and RouteViews actually
+// serve, not only this repository's text stand-in.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+)
+
+// MRT constants (RFC 6396 sections 4-4.3).
+const (
+	typeTableDumpV2 = 13
+
+	subtypePeerIndexTable = 1
+	subtypeRIBIPv4Unicast = 2
+	subtypeRIBIPv6Unicast = 4
+)
+
+// BGP path attribute type codes.
+const (
+	attrASPath      = 2
+	attrCommunities = 8
+
+	asPathSegSequence = 2
+	asPathSegSet      = 1
+)
+
+// Writer emits a TABLE_DUMP_V2 RIB dump.
+type Writer struct {
+	w         *bufio.Writer
+	timestamp uint32
+	// peerIndex maps collector-peer ASNs to their index-table slot.
+	peerIndex map[ir.ASN]uint16
+	peers     []ir.ASN
+	seq       uint32
+	started   bool
+}
+
+// NewWriter creates a Writer stamping records with ts.
+func NewWriter(w io.Writer, ts time.Time) *Writer {
+	return &Writer{
+		w:         bufio.NewWriter(w),
+		timestamp: uint32(ts.Unix()),
+		peerIndex: make(map[ir.ASN]uint16),
+	}
+}
+
+// record writes one MRT record header + body.
+func (wr *Writer) record(subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], wr.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], typeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+// writePeerIndexTable emits the PEER_INDEX_TABLE for the given peers.
+// Peer BGP IDs and addresses are synthesized from the ASN (collector
+// peer addresses are irrelevant to AS-level verification).
+func (wr *Writer) writePeerIndexTable(peers []ir.ASN) error {
+	var body []byte
+	var cid [4]byte // collector BGP ID 0.0.0.0
+	body = append(body, cid[:]...)
+	body = append(body, 0, 0) // view name length 0
+	var cnt [2]byte
+	binary.BigEndian.PutUint16(cnt[:], uint16(len(peers)))
+	body = append(body, cnt[:]...)
+	for i, p := range peers {
+		wr.peerIndex[p] = uint16(i)
+		// Peer type 2: AS number is 32 bits, address IPv4.
+		body = append(body, 0x02)
+		var id [4]byte
+		binary.BigEndian.PutUint32(id[:], uint32(p))
+		body = append(body, id[:]...) // BGP ID := ASN
+		body = append(body, id[:]...) // peer address := ASN bits
+		var asn [4]byte
+		binary.BigEndian.PutUint32(asn[:], uint32(p))
+		body = append(body, asn[:]...)
+	}
+	return wr.record(subtypePeerIndexTable, body)
+}
+
+// WriteRoutes emits the full dump: a peer index covering every first
+// AS seen, then one RIB entry record per route. AS-set routes are
+// encoded with an AS_SET path segment, as real aggregates are.
+func (wr *Writer) WriteRoutes(routes []bgpsim.Route) error {
+	if !wr.started {
+		seen := make(map[ir.ASN]bool)
+		var peers []ir.ASN
+		for _, r := range routes {
+			if len(r.Path) == 0 || seen[r.Path[0]] {
+				continue
+			}
+			seen[r.Path[0]] = true
+			peers = append(peers, r.Path[0])
+		}
+		if len(peers) > 0xffff {
+			return fmt.Errorf("mrt: too many peers (%d)", len(peers))
+		}
+		wr.peers = peers
+		if err := wr.writePeerIndexTable(peers); err != nil {
+			return err
+		}
+		wr.started = true
+	}
+	for _, r := range routes {
+		if err := wr.writeRIBEntry(r); err != nil {
+			return err
+		}
+	}
+	return wr.w.Flush()
+}
+
+func (wr *Writer) writeRIBEntry(r bgpsim.Route) error {
+	if len(r.Path) == 0 {
+		return fmt.Errorf("mrt: route with empty path")
+	}
+	peerIdx, ok := wr.peerIndex[r.Path[0]]
+	if !ok {
+		return fmt.Errorf("mrt: peer %s not in index table", r.Path[0])
+	}
+	subtype := uint16(subtypeRIBIPv4Unicast)
+	if r.Prefix.IsIPv6() {
+		subtype = subtypeRIBIPv6Unicast
+	}
+
+	var body []byte
+	var seq [4]byte
+	binary.BigEndian.PutUint32(seq[:], wr.seq)
+	wr.seq++
+	body = append(body, seq[:]...)
+	// NLRI: prefix length byte + minimal octets.
+	bits := r.Prefix.Bits()
+	body = append(body, byte(bits))
+	addr := r.Prefix.Addr().AsSlice()
+	body = append(body, addr[:(bits+7)/8]...)
+	// Entry count = 1.
+	body = append(body, 0, 1)
+	// RIB entry: peer index, originated time, attribute block.
+	var pi [2]byte
+	binary.BigEndian.PutUint16(pi[:], peerIdx)
+	body = append(body, pi[:]...)
+	var ot [4]byte
+	binary.BigEndian.PutUint32(ot[:], wr.timestamp)
+	body = append(body, ot[:]...)
+
+	attrs := encodeAttrs(r)
+	var al [2]byte
+	binary.BigEndian.PutUint16(al[:], uint16(len(attrs)))
+	body = append(body, al[:]...)
+	body = append(body, attrs...)
+	return wr.record(subtype, body)
+}
+
+// encodeAttrs builds the BGP path attribute block: AS_PATH (4-byte
+// ASNs, as TABLE_DUMP_V2 mandates) and optional COMMUNITIES.
+func encodeAttrs(r bgpsim.Route) []byte {
+	var attrs []byte
+
+	// AS_PATH: one SEQUENCE segment; an AS-set route ends with a
+	// one-element AS_SET segment.
+	var path []byte
+	seqASNs := r.Path
+	var setASNs []ir.ASN
+	if r.HasASSet && len(r.Path) > 1 {
+		seqASNs = r.Path[:len(r.Path)-1]
+		setASNs = r.Path[len(r.Path)-1:]
+	}
+	path = append(path, asPathSegSequence, byte(len(seqASNs)))
+	for _, a := range seqASNs {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(a))
+		path = append(path, b[:]...)
+	}
+	if len(setASNs) > 0 {
+		path = append(path, asPathSegSet, byte(len(setASNs)))
+		for _, a := range setASNs {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(a))
+			path = append(path, b[:]...)
+		}
+	}
+	attrs = appendAttr(attrs, attrASPath, path)
+
+	if len(r.Communities) > 0 {
+		var comm []byte
+		for _, c := range r.Communities {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], uint32(c))
+			comm = append(comm, b[:]...)
+		}
+		attrs = appendAttr(attrs, attrCommunities, comm)
+	}
+	return attrs
+}
+
+// appendAttr writes one attribute with flags chosen by value length
+// (extended length when needed).
+func appendAttr(dst []byte, code byte, val []byte) []byte {
+	if len(val) > 255 {
+		dst = append(dst, 0x50, code) // transitive + extended length
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(val)))
+		dst = append(dst, l[:]...)
+	} else {
+		dst = append(dst, 0x40, code) // transitive
+		dst = append(dst, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+// ReadRoutes parses a TABLE_DUMP_V2 dump produced by Writer (or by a
+// real collector, within the supported subset) back into routes.
+func ReadRoutes(r io.Reader) ([]bgpsim.Route, error) {
+	br := bufio.NewReader(r)
+	var routes []bgpsim.Route
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return routes, nil
+			}
+			return routes, fmt.Errorf("mrt: header: %w", err)
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:])
+		subtype := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if length > 64<<20 {
+			return routes, fmt.Errorf("mrt: record too large (%d bytes)", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return routes, fmt.Errorf("mrt: body: %w", err)
+		}
+		if typ != typeTableDumpV2 {
+			continue // skip foreign record types
+		}
+		switch subtype {
+		case subtypePeerIndexTable:
+			// Peer addresses are not needed for AS-level verification;
+			// the AS path carries the peer AS.
+		case subtypeRIBIPv4Unicast, subtypeRIBIPv6Unicast:
+			rs, err := parseRIBEntry(body, subtype == subtypeRIBIPv6Unicast)
+			if err != nil {
+				return routes, err
+			}
+			routes = append(routes, rs...)
+		}
+	}
+}
+
+func parseRIBEntry(body []byte, v6 bool) ([]bgpsim.Route, error) {
+	p := &byteReader{b: body}
+	p.skip(4) // sequence
+	bits, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
+	nBytes := (int(bits) + 7) / 8
+	addrBytes, err := p.take(nBytes)
+	if err != nil {
+		return nil, err
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], addrBytes)
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], addrBytes)
+		addr = netip.AddrFrom4(a)
+	}
+	pfx, err := addr.Prefix(int(bits))
+	if err != nil {
+		return nil, fmt.Errorf("mrt: bad prefix: %w", err)
+	}
+
+	count, err := p.u16()
+	if err != nil {
+		return nil, err
+	}
+	var out []bgpsim.Route
+	for i := 0; i < int(count); i++ {
+		p.skip(2) // peer index
+		p.skip(4) // originated time
+		attrLen, err := p.u16()
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := p.take(int(attrLen))
+		if err != nil {
+			return nil, err
+		}
+		route := bgpsim.Route{Prefix: prefix.FromNetip(pfx)}
+		if err := parseAttrs(attrs, &route); err != nil {
+			return nil, err
+		}
+		out = append(out, route)
+	}
+	return out, nil
+}
+
+func parseAttrs(b []byte, route *bgpsim.Route) error {
+	p := &byteReader{b: b}
+	for p.len() > 0 {
+		flags, err := p.u8()
+		if err != nil {
+			return err
+		}
+		code, err := p.u8()
+		if err != nil {
+			return err
+		}
+		var alen int
+		if flags&0x10 != 0 {
+			l, err := p.u16()
+			if err != nil {
+				return err
+			}
+			alen = int(l)
+		} else {
+			l, err := p.u8()
+			if err != nil {
+				return err
+			}
+			alen = int(l)
+		}
+		val, err := p.take(alen)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case attrASPath:
+			if err := parseASPath(val, route); err != nil {
+				return err
+			}
+		case attrCommunities:
+			for i := 0; i+4 <= len(val); i += 4 {
+				route.Communities = append(route.Communities,
+					bgpsim.Community(binary.BigEndian.Uint32(val[i:])))
+			}
+		}
+	}
+	return nil
+}
+
+func parseASPath(b []byte, route *bgpsim.Route) error {
+	p := &byteReader{b: b}
+	for p.len() > 0 {
+		segType, err := p.u8()
+		if err != nil {
+			return err
+		}
+		n, err := p.u8()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(n); i++ {
+			raw, err := p.take(4)
+			if err != nil {
+				return err
+			}
+			route.Path = append(route.Path, ir.ASN(binary.BigEndian.Uint32(raw)))
+		}
+		if segType == asPathSegSet {
+			route.HasASSet = true
+		}
+	}
+	return nil
+}
+
+// byteReader is a bounds-checked cursor over a byte slice.
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (p *byteReader) len() int { return len(p.b) - p.pos }
+
+func (p *byteReader) skip(n int) {
+	p.pos += n
+	if p.pos > len(p.b) {
+		p.pos = len(p.b)
+	}
+}
+
+func (p *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || p.pos+n > len(p.b) {
+		return nil, fmt.Errorf("mrt: truncated record")
+	}
+	out := p.b[p.pos : p.pos+n]
+	p.pos += n
+	return out, nil
+}
+
+func (p *byteReader) u8() (byte, error) {
+	b, err := p.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (p *byteReader) u16() (uint16, error) {
+	b, err := p.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}

@@ -1,0 +1,156 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/topology"
+)
+
+func sampleRoutes() []bgpsim.Route {
+	return []bgpsim.Route{
+		{Prefix: prefix.MustParse("192.0.2.0/24"), Path: []ir.ASN{3257, 1299, 6939, 64500}},
+		{Prefix: prefix.MustParse("10.0.0.0/8"), Path: []ir.ASN{3257, 174}},
+		{Prefix: prefix.MustParse("2001:db8::/32"), Path: []ir.ASN{6939, 64500}},
+		{Prefix: prefix.MustParse("198.51.100.0/25"), Path: []ir.ASN{3257, 64501, 64502},
+			HasASSet: true},
+		{Prefix: prefix.MustParse("203.0.113.0/24"), Path: []ir.ASN{3257, 64501},
+			Communities: []bgpsim.Community{bgpsim.BlackholeCommunity, bgpsim.NewCommunity(3257, 100)}},
+	}
+}
+
+func roundTrip(t *testing.T, routes []bgpsim.Route) []bgpsim.Route {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, time.Unix(1687500000, 0))
+	if err := w.WriteRoutes(routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRoutes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	routes := sampleRoutes()
+	got := roundTrip(t, routes)
+	if len(got) != len(routes) {
+		t.Fatalf("routes = %d, want %d", len(got), len(routes))
+	}
+	for i, want := range routes {
+		g := got[i]
+		if g.Prefix.Compare(want.Prefix) != 0 {
+			t.Errorf("route %d prefix = %v, want %v", i, g.Prefix, want.Prefix)
+		}
+		if len(g.Path) != len(want.Path) {
+			t.Fatalf("route %d path = %v, want %v", i, g.Path, want.Path)
+		}
+		for j := range want.Path {
+			if g.Path[j] != want.Path[j] {
+				t.Errorf("route %d hop %d = %v, want %v", i, j, g.Path[j], want.Path[j])
+			}
+		}
+		if g.HasASSet != want.HasASSet {
+			t.Errorf("route %d HasASSet = %v", i, g.HasASSet)
+		}
+		if len(g.Communities) != len(want.Communities) {
+			t.Errorf("route %d communities = %v, want %v", i, g.Communities, want.Communities)
+		}
+	}
+}
+
+func TestRoundTripSimulatedUniverse(t *testing.T) {
+	topo := topology.Generate(topology.Config{Seed: 4, ASes: 150})
+	sim := bgpsim.NewSimulator(topo)
+	routes := sim.CollectRoutes(sim.DefaultCollectors(3), bgpsim.Options{Seed: 4})
+	if len(routes) == 0 {
+		t.Fatal("no routes")
+	}
+	got := roundTrip(t, routes)
+	if len(got) != len(routes) {
+		t.Fatalf("routes = %d, want %d", len(got), len(routes))
+	}
+	for i := range routes {
+		if got[i].Prefix.Compare(routes[i].Prefix) != 0 {
+			t.Fatalf("route %d prefix mismatch", i)
+		}
+		if len(got[i].Path) != len(routes[i].Path) {
+			t.Fatalf("route %d path mismatch: %v vs %v", i, got[i].Path, routes[i].Path)
+		}
+	}
+}
+
+func TestReadSkipsForeignRecordTypes(t *testing.T) {
+	var buf bytes.Buffer
+	// A BGP4MP (type 16) record the reader must skip.
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], 0)
+	binary.BigEndian.PutUint16(hdr[4:], 16)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[8:], 3)
+	buf.Write(hdr[:])
+	buf.Write([]byte{1, 2, 3})
+	// Then a real dump.
+	w := NewWriter(&buf, time.Unix(0, 0))
+	if err := w.WriteRoutes(sampleRoutes()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRoutes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("routes = %d", len(got))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Truncated header: io.EOF mid-header is an error (not clean EOF).
+	if _, err := ReadRoutes(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Header with oversized length.
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[4:], typeTableDumpV2)
+	binary.BigEndian.PutUint32(hdr[8:], 1<<30)
+	if _, err := ReadRoutes(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversized record accepted")
+	}
+	// Truncated body.
+	binary.BigEndian.PutUint32(hdr[8:], 100)
+	if _, err := ReadRoutes(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// RIB record with garbage body.
+	var buf bytes.Buffer
+	binary.BigEndian.PutUint16(hdr[6:], subtypeRIBIPv4Unicast)
+	binary.BigEndian.PutUint32(hdr[8:], 2)
+	buf.Write(hdr[:])
+	buf.Write([]byte{0xff, 0xff})
+	if _, err := ReadRoutes(&buf); err == nil {
+		t.Error("garbage RIB body accepted")
+	}
+}
+
+func TestWriterRejectsEmptyPath(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, time.Unix(0, 0))
+	err := w.WriteRoutes([]bgpsim.Route{{Prefix: prefix.MustParse("192.0.2.0/24")}})
+	if err == nil {
+		t.Error("empty-path route accepted")
+	}
+}
+
+func TestEmptyDump(t *testing.T) {
+	got, err := ReadRoutes(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty dump: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,116 @@
+package parser
+
+import (
+	"testing"
+
+	"rpslyzer/internal/ir"
+)
+
+// FuzzParseRule asserts the rule parser never panics and that accepted
+// rules have a well-formed policy tree.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"from AS4713 accept ANY",
+		"to AS4713 announce AS-HANABI",
+		"from AS8267:AS-KRAKOW-1014 action pref=50; accept PeerAS",
+		"afi any.unicast from AS13911 accept ANY AND NOT {0.0.0.0/0, ::0/0} REFINE afi ipv4.unicast from AS13911 action pref=200; accept <^AS13911 AS6327+$>",
+		"afi any { from AS-ANY action community.delete(64628:10); accept ANY; } REFINE afi any { from AS-ANY accept NOT AS199284^+; }",
+		"protocol BGP4 into BGP4 from AS1 accept ANY",
+		"from AS1 192.0.2.1 at 192.0.2.2 accept ANY",
+		"from AS-ANY EXCEPT (AS40027 OR AS63293) accept ANY",
+		"from AS1 accept {  }",
+		"from AS1 accept <>",
+		"from",
+		"",
+		"from AS1 action a=b; c .= { 1:2 }; community.append(3:4); accept ANY",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	var verifyTree func(t *testing.T, e *ir.PolicyExpr, depth int)
+	verifyTree = func(t *testing.T, e *ir.PolicyExpr, depth int) {
+		if e == nil {
+			t.Fatal("nil policy node in accepted rule")
+		}
+		if depth > 200 {
+			t.Fatal("policy tree too deep")
+		}
+		switch e.Kind {
+		case ir.PolicyTerm:
+			for i := range e.Factors {
+				if len(e.Factors[i].Peerings) == 0 {
+					t.Fatal("factor without peerings")
+				}
+				if e.Factors[i].Filter == nil {
+					t.Fatal("factor without filter")
+				}
+			}
+		case ir.PolicyExcept, ir.PolicyRefine:
+			verifyTree(t, e.Left, depth+1)
+			verifyTree(t, e.Right, depth+1)
+		default:
+			t.Fatalf("bad policy kind %v", e.Kind)
+		}
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, dir := range []ir.Direction{ir.DirImport, ir.DirExport} {
+			rule, err := ParseRule(dir, false, input)
+			if err != nil {
+				continue
+			}
+			verifyTree(t, rule.Expr, 0)
+		}
+	})
+}
+
+// FuzzParsePathRegex asserts the regex parser never panics and that
+// accepted regexes render without panicking.
+func FuzzParsePathRegex(f *testing.F) {
+	seeds := []string{
+		"^AS13911 AS6327+$",
+		"^PeerAS+$",
+		"(AS1|AS2)* . AS-SET~{1,3}",
+		"[^AS64512-AS65535]+",
+		"AS1 - AS5",
+		"((((AS1))))",
+		"{2,}",
+		"~",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		re, err := ParsePathRegex(input)
+		if err != nil {
+			return
+		}
+		_ = re.String()
+	})
+}
+
+// FuzzParseFilter asserts the filter parser is total on arbitrary text.
+func FuzzParseFilter(f *testing.F) {
+	seeds := []string{
+		"ANY",
+		"AS-FOO AND NOT AS-BAR",
+		"{10.0.0.0/8^+, 192.0.2.0/24} OR RS-X^24-28",
+		"community(65535:666) AND <^AS1$>",
+		"NOT NOT NOT ANY",
+		"(((ANY)))",
+		"}{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		filter, err := ParseFilter(input)
+		if err != nil {
+			return
+		}
+		if filter == nil {
+			t.Fatal("nil filter without error")
+		}
+		_ = filter.String()
+	})
+}

@@ -1,0 +1,121 @@
+package parser
+
+import (
+	"strings"
+
+	"rpslyzer/internal/ir"
+)
+
+// SetClass identifies which set-object class a name belongs to.
+type SetClass uint8
+
+const (
+	// SetClassNone means the name is not a set name.
+	SetClassNone SetClass = iota
+	// SetClassAs is an as-set.
+	SetClassAs
+	// SetClassRoute is a route-set.
+	SetClassRoute
+	// SetClassFilter is a filter-set.
+	SetClassFilter
+	// SetClassPeering is a peering-set.
+	SetClassPeering
+	// SetClassRtr is an rtr-set.
+	SetClassRtr
+)
+
+// ClassifySetName determines the set class of a (possibly hierarchical)
+// RPSL set name. RFC 2622 section 5: a hierarchical name is a sequence
+// of colon-separated components, each an ASN or a set name; at least
+// one component must carry the class prefix ("AS-", "RS-", "FLTR-",
+// "PRNG-", "RTRS-"). When components disagree (malformed data), the
+// first set-typed component wins, matching IRRd's behaviour.
+func ClassifySetName(name string) SetClass {
+	for _, comp := range strings.Split(strings.ToUpper(name), ":") {
+		switch {
+		case strings.HasPrefix(comp, "AS-"):
+			return SetClassAs
+		case strings.HasPrefix(comp, "RS-"):
+			return SetClassRoute
+		case strings.HasPrefix(comp, "FLTR-"):
+			return SetClassFilter
+		case strings.HasPrefix(comp, "PRNG-"):
+			return SetClassPeering
+		case strings.HasPrefix(comp, "RTRS-"):
+			return SetClassRtr
+		}
+	}
+	return SetClassNone
+}
+
+// validSetComponent checks one component of a hierarchical set name:
+// either an AS number or a word made of letters, digits, '-' and '_'
+// that is at least two characters beyond its class prefix.
+func validSetComponent(comp string, classPrefix string) bool {
+	if ir.IsASN(comp) {
+		return true
+	}
+	if !strings.HasPrefix(comp, classPrefix) {
+		return false
+	}
+	rest := comp[len(classPrefix):]
+	if rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validSetName validates a hierarchical set name against a class
+// prefix: every component must be an ASN or a set name of that class,
+// and at least one component must be a set name.
+func validSetName(name, classPrefix string) bool {
+	name = strings.ToUpper(name)
+	comps := strings.Split(name, ":")
+	hasSet := false
+	for _, comp := range comps {
+		if comp == "" {
+			return false
+		}
+		if !validSetComponent(comp, classPrefix) {
+			return false
+		}
+		if strings.HasPrefix(comp, classPrefix) {
+			hasSet = true
+		}
+	}
+	return hasSet
+}
+
+// ValidAsSetName reports whether name is a well-formed as-set name.
+// The paper's error census counts ill-formed names (12 were found in
+// the wild, including an empty as-set named after the keyword AS-ANY,
+// which is well-formed but reserved; that case is flagged separately).
+func ValidAsSetName(name string) bool { return validSetName(name, "AS-") }
+
+// ValidRouteSetName reports whether name is a well-formed route-set name.
+func ValidRouteSetName(name string) bool { return validSetName(name, "RS-") }
+
+// ValidFilterSetName reports whether name is a well-formed filter-set name.
+func ValidFilterSetName(name string) bool { return validSetName(name, "FLTR-") }
+
+// ValidPeeringSetName reports whether name is a well-formed peering-set name.
+func ValidPeeringSetName(name string) bool { return validSetName(name, "PRNG-") }
+
+// IsReservedSetName reports whether the name collides with an RPSL
+// keyword (e.g. an as-set literally named AS-ANY), an anomaly the paper
+// calls out as likely to disrupt analysis tools.
+func IsReservedSetName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "AS-ANY", "RS-ANY", "PEERAS", "ANY":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rpslyzer/internal/ir"
+)
+
+// ParsePathRegex parses the text of an AS-path regular expression (the
+// content between '<' and '>') into its AST. Supported constructs:
+//
+//	AS1            a specific AS number
+//	AS1 - AS5      an ASN range (also AS1-AS5)
+//	AS-FOO         an as-set
+//	PeerAS         the dynamic peer AS
+//	.              any AS
+//	[...] [^...]   (negated) sets of the above
+//	^ $            anchors
+//	* + ? {m} {m,n} {m,}   repetition
+//	~* ~+ ~{m,n}   same-AS repetition
+//	|              alternation
+//	( )            grouping
+func ParsePathRegex(src string) (*ir.PathRegex, error) {
+	p := &regexParser{src: src}
+	p.lex()
+	re := &ir.PathRegex{Raw: strings.TrimSpace(src)}
+	if p.peek() == "^" {
+		re.AnchorBegin = true
+		p.next()
+	}
+	root, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "$" {
+		re.AnchorEnd = true
+		p.next()
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("parser: trailing regex tokens at %q", p.peek())
+	}
+	re.Root = root
+	return re, nil
+}
+
+// regexParser lexes and parses AS-path regex text.
+type regexParser struct {
+	src  string
+	toks []string
+	pos  int
+}
+
+// lex splits regex text into tokens: parens, brackets, operators, and
+// words (ASNs / as-set names / PeerAS / '.').
+func (p *regexParser) lex() {
+	s := p.src
+	i, n := 0, len(s)
+	for i < n {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '~':
+			// ~*, ~+, ~{m,n}
+			if i+1 < n && (s[i+1] == '*' || s[i+1] == '+') {
+				p.toks = append(p.toks, s[i:i+2])
+				i += 2
+			} else if i+1 < n && s[i+1] == '{' {
+				j := strings.IndexByte(s[i:], '}')
+				if j < 0 {
+					p.toks = append(p.toks, s[i:])
+					i = n
+				} else {
+					p.toks = append(p.toks, s[i:i+j+1])
+					i += j + 1
+				}
+			} else {
+				p.toks = append(p.toks, "~")
+				i++
+			}
+		case c == '{':
+			j := strings.IndexByte(s[i:], '}')
+			if j < 0 {
+				p.toks = append(p.toks, s[i:])
+				i = n
+			} else {
+				p.toks = append(p.toks, s[i:i+j+1])
+				i += j + 1
+			}
+		case c == '[':
+			if i+1 < n && s[i+1] == '^' {
+				p.toks = append(p.toks, "[^")
+				i += 2
+			} else {
+				p.toks = append(p.toks, "[")
+				i++
+			}
+		case strings.ContainsRune("]()|^$*+?.", rune(c)):
+			p.toks = append(p.toks, string(c))
+			i++
+		case c == '-':
+			p.toks = append(p.toks, "-")
+			i++
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t\n\r[]()|^$*+?~{}", rune(s[j])) {
+				// '-' splits ASN ranges, but as-set names contain '-'.
+				// Split on '-' only when the preceding run is a pure ASN.
+				if s[j] == '-' && !ir.IsASN(s[i:j]) {
+					j++
+					continue
+				}
+				if s[j] == '-' && ir.IsASN(s[i:j]) {
+					break
+				}
+				j++
+			}
+			if j == i {
+				// A character with no word role (e.g. a stray '}'):
+				// emit it as its own token so the lexer always
+				// advances; the parser will reject it.
+				j = i + 1
+			}
+			p.toks = append(p.toks, s[i:j])
+			i = j
+		}
+	}
+}
+
+func (p *regexParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *regexParser) next() string {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *regexParser) eof() bool { return p.pos >= len(p.toks) }
+
+// alt := seq ('|' seq)*
+func (p *regexParser) alt() (*ir.PathNode, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != "|" {
+		return first, nil
+	}
+	children := []*ir.PathNode{first}
+	for p.peek() == "|" {
+		p.next()
+		n, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	return &ir.PathNode{Kind: ir.PathAlt, Children: children}, nil
+}
+
+// seq := postfix* — stops at '|', ')', '$', or EOF.
+func (p *regexParser) seq() (*ir.PathNode, error) {
+	var children []*ir.PathNode
+	for {
+		t := p.peek()
+		if t == "" || t == "|" || t == ")" || t == "$" {
+			break
+		}
+		n, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, n)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return &ir.PathNode{Kind: ir.PathConcat, Children: children}, nil
+}
+
+// postfix := atom op*
+func (p *regexParser) postfix() (*ir.PathNode, error) {
+	n, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		min, max, same, ok := repBounds(t)
+		if !ok {
+			return n, nil
+		}
+		p.next()
+		n = &ir.PathNode{Kind: ir.PathRepeat, Children: []*ir.PathNode{n}, Min: min, Max: max, Same: same}
+	}
+}
+
+// repBounds decodes a repetition operator token.
+func repBounds(t string) (min, max int, same, ok bool) {
+	orig := t
+	if strings.HasPrefix(t, "~") {
+		same = true
+		t = t[1:]
+	}
+	switch t {
+	case "*":
+		return 0, -1, same, true
+	case "+":
+		return 1, -1, same, true
+	case "?":
+		if same {
+			return 0, 0, false, false
+		}
+		return 0, 1, false, true
+	}
+	if strings.HasPrefix(t, "{") && strings.HasSuffix(t, "}") {
+		body := t[1 : len(t)-1]
+		lo, hi, found := strings.Cut(body, ",")
+		m1, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return 0, 0, false, false
+		}
+		if !found {
+			return m1, m1, same, true
+		}
+		hi = strings.TrimSpace(hi)
+		if hi == "" {
+			return m1, -1, same, true
+		}
+		m2, err := strconv.Atoi(hi)
+		if err != nil {
+			return 0, 0, false, false
+		}
+		return m1, m2, same, true
+	}
+	_ = orig
+	return 0, 0, false, false
+}
+
+// atom := term | '(' alt ')' | '[' class ']' | '[^' class ']'
+func (p *regexParser) atom() (*ir.PathNode, error) {
+	t := p.peek()
+	switch t {
+	case "(":
+		p.next()
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("parser: missing ) in AS-path regex")
+		}
+		p.next()
+		return n, nil
+	case "[", "[^":
+		p.next()
+		neg := t == "[^"
+		var elems []*ir.PathTerm
+		for p.peek() != "]" {
+			if p.eof() {
+				return nil, fmt.Errorf("parser: missing ] in AS-path regex")
+			}
+			e, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		p.next()
+		return &ir.PathNode{Kind: ir.PathToken,
+			Term: &ir.PathTerm{Kind: ir.PathClass, Negated: neg, Elems: elems}}, nil
+	case "", ")", "]", "|", "$", "^":
+		return nil, fmt.Errorf("parser: unexpected %q in AS-path regex", t)
+	}
+	term, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.PathNode{Kind: ir.PathToken, Term: term}, nil
+}
+
+// term := ASN | ASN '-' ASN | as-set | '.' | PeerAS
+func (p *regexParser) term() (*ir.PathTerm, error) {
+	t := p.next()
+	switch {
+	case t == ".":
+		return &ir.PathTerm{Kind: ir.PathWildcard}, nil
+	case strings.EqualFold(t, "PeerAS"):
+		return &ir.PathTerm{Kind: ir.PathPeerAS}, nil
+	case ir.IsASN(t):
+		lo, _ := ir.ParseASN(t)
+		if p.peek() == "-" {
+			p.next()
+			hiTok := p.next()
+			hi, err := ir.ParseASN(hiTok)
+			if err != nil {
+				return nil, fmt.Errorf("parser: bad ASN range end %q", hiTok)
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("parser: inverted ASN range %s-%s", t, hiTok)
+			}
+			return &ir.PathTerm{Kind: ir.PathASRange, ASN: lo, ASNHi: hi}, nil
+		}
+		return &ir.PathTerm{Kind: ir.PathASN, ASN: lo}, nil
+	case ClassifySetName(t) == SetClassAs:
+		return &ir.PathTerm{Kind: ir.PathSet, Name: strings.ToUpper(t)}, nil
+	}
+	return nil, fmt.Errorf("parser: bad AS-path regex token %q", t)
+}

@@ -1,0 +1,177 @@
+package parser
+
+import (
+	"testing"
+
+	"rpslyzer/internal/asregex"
+	"rpslyzer/internal/ir"
+)
+
+func mustRegex(t *testing.T, src string) *ir.PathRegex {
+	t.Helper()
+	re, err := ParsePathRegex(src)
+	if err != nil {
+		t.Fatalf("ParsePathRegex(%q) error: %v", src, err)
+	}
+	return re
+}
+
+// compileAndMatch parses, compiles and matches in one step.
+func compileAndMatch(t *testing.T, src string, path []ir.ASN, peer ir.ASN, res asregex.Resolver) bool {
+	t.Helper()
+	re := mustRegex(t, src)
+	c, err := asregex.Compile(re)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c.Match(path, peer, res)
+}
+
+func TestParseAnchors(t *testing.T) {
+	re := mustRegex(t, "^AS13911 AS6327+$")
+	if !re.AnchorBegin || !re.AnchorEnd {
+		t.Errorf("anchors = %v %v", re.AnchorBegin, re.AnchorEnd)
+	}
+	re2 := mustRegex(t, "AS1")
+	if re2.AnchorBegin || re2.AnchorEnd {
+		t.Errorf("unanchored regex got anchors")
+	}
+}
+
+func TestParseAndMatchPaperExample(t *testing.T) {
+	// <^AS13911 AS6327+$> from the paper's Section 2.
+	if !compileAndMatch(t, "^AS13911 AS6327+$", []ir.ASN{13911, 6327, 6327}, 13911, nil) {
+		t.Error("paper example should match prepended path")
+	}
+	if compileAndMatch(t, "^AS13911 AS6327+$", []ir.ASN{13911, 174}, 13911, nil) {
+		t.Error("paper example should reject other origin")
+	}
+}
+
+func TestParsePeerASRegex(t *testing.T) {
+	// <^PeerAS+$> — catch-all from AS199284's rule.
+	if !compileAndMatch(t, "^PeerAS+$", []ir.ASN{65001, 65001}, 65001, nil) {
+		t.Error("PeerAS+ should match")
+	}
+}
+
+func TestParseSetRegex(t *testing.T) {
+	// <AS-AKAMAI+$>
+	res := asregex.ResolverFunc(func(name string, asn ir.ASN) (bool, bool) {
+		return name == "AS-AKAMAI" && asn == 20940, true
+	})
+	if !compileAndMatch(t, "<ignored>AS-AKAMAI+$"[9:], []ir.ASN{3356, 20940}, 0, res) {
+		t.Error("AS-AKAMAI+$ should match origin in set")
+	}
+}
+
+func TestParseAlternationAndGroups(t *testing.T) {
+	src := "^(AS1|AS2) AS3$"
+	for _, first := range []ir.ASN{1, 2} {
+		if !compileAndMatch(t, src, []ir.ASN{first, 3}, 0, nil) {
+			t.Errorf("should match AS%d AS3", first)
+		}
+	}
+	if compileAndMatch(t, src, []ir.ASN{4, 3}, 0, nil) {
+		t.Error("should not match AS4 AS3")
+	}
+}
+
+func TestParseCharClasses(t *testing.T) {
+	src := "^[AS1 AS2]+$"
+	if !compileAndMatch(t, src, []ir.ASN{1, 2, 1}, 0, nil) {
+		t.Error("[AS1 AS2]+ should match")
+	}
+	if compileAndMatch(t, src, []ir.ASN{1, 3}, 0, nil) {
+		t.Error("[AS1 AS2]+ should reject AS3")
+	}
+}
+
+func TestParseNegatedClassWithRange(t *testing.T) {
+	// Dropping private ASNs: <^[^AS64512-AS65535]+$>
+	src := "^[^AS64512-AS65535]+$"
+	if !compileAndMatch(t, src, []ir.ASN{174, 3356}, 0, nil) {
+		t.Error("public path should match")
+	}
+	if compileAndMatch(t, src, []ir.ASN{174, 64512}, 0, nil) {
+		t.Error("private ASN should be rejected")
+	}
+}
+
+func TestParseASRangeSpaced(t *testing.T) {
+	re := mustRegex(t, "AS64512 - AS65535")
+	var kinds []ir.PathTermKind
+	re.WalkTerms(func(term *ir.PathTerm) { kinds = append(kinds, term.Kind) })
+	if len(kinds) != 1 || kinds[0] != ir.PathASRange {
+		t.Errorf("terms = %v", kinds)
+	}
+}
+
+func TestParseSameOperators(t *testing.T) {
+	// .~+ (the same-pattern postfix the paper notes as future work).
+	if !compileAndMatch(t, "^AS1 .~+$", []ir.ASN{1, 9, 9, 9}, 0, nil) {
+		t.Error(".~+ should match uniform tail")
+	}
+	if compileAndMatch(t, "^AS1 .~+$", []ir.ASN{1, 9, 8}, 0, nil) {
+		t.Error(".~+ should reject mixed tail")
+	}
+}
+
+func TestParseBraceRepetition(t *testing.T) {
+	if !compileAndMatch(t, "^AS1{2,3}$", []ir.ASN{1, 1}, 0, nil) {
+		t.Error("{2,3} should match twice")
+	}
+	if compileAndMatch(t, "^AS1{2,3}$", []ir.ASN{1}, 0, nil) {
+		t.Error("{2,3} should not match once")
+	}
+	if !compileAndMatch(t, "^AS1{2}$", []ir.ASN{1, 1}, 0, nil) {
+		t.Error("{2} should match exactly twice")
+	}
+	if !compileAndMatch(t, "^AS1{1,}$", []ir.ASN{1, 1, 1, 1}, 0, nil) {
+		t.Error("{1,} should behave like +")
+	}
+}
+
+func TestParseWildcardStar(t *testing.T) {
+	if !compileAndMatch(t, "^.* AS99$", []ir.ASN{5, 6, 99}, 0, nil) {
+		t.Error(".* AS99 should match")
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	bad := []string{
+		"(AS1",       // unclosed group
+		"[AS1",       // unclosed class
+		"AS1)",       // stray close
+		"AS5-AS2",    // inverted range
+		"AS1-banana", // bad range end
+		"|AS1|",      // trailing alternation into EOF is tolerated? keep: leading | => empty seq then alt; actually fine
+	}
+	for _, src := range bad[:5] {
+		if _, err := ParsePathRegex(src); err == nil {
+			t.Errorf("ParsePathRegex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseEmptyRegex(t *testing.T) {
+	re := mustRegex(t, "^$")
+	c, err := asregex.Compile(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Match(nil, 0, nil) {
+		t.Error("^$ should match the empty path")
+	}
+	if c.Match([]ir.ASN{1}, 0, nil) {
+		t.Error("^$ should not match a non-empty path")
+	}
+}
+
+func TestRegexRawPreserved(t *testing.T) {
+	src := "  ^AS1 .* $ "
+	re := mustRegex(t, src)
+	if re.Raw != "^AS1 .* $" {
+		t.Errorf("Raw = %q", re.Raw)
+	}
+}

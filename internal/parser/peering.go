@@ -1,0 +1,148 @@
+package parser
+
+import (
+	"strings"
+
+	"rpslyzer/internal/ir"
+)
+
+// parsePeering parses one peering specification (RFC 2622 section
+// 5.6): an as-expression optionally followed by router expressions and
+// "at <router>", or a peering-set reference. Router expressions are
+// captured verbatim; AS-level verification ignores them, as in the
+// paper.
+//
+// Parsing stops before "action", "accept", "announce", "from", "to",
+// ';', '}' — the tokens that can follow a peering in a policy factor.
+func parsePeering(c *cursor) (ir.Peering, bool) {
+	t := c.peek()
+	if t.kind == tokWord && ClassifySetName(t.text) == SetClassPeering {
+		c.next()
+		p := ir.Peering{PeeringSet: strings.ToUpper(t.text)}
+		collectRouterExprs(c, &p)
+		return p, true
+	}
+	expr, ok := parseASExprOr(c)
+	if !ok {
+		return ir.Peering{}, false
+	}
+	p := ir.Peering{ASExpr: expr}
+	collectRouterExprs(c, &p)
+	return p, true
+}
+
+// peeringStopper reports whether a token ends a peering clause.
+func peeringStopper(t token) bool {
+	switch {
+	case t.kind == tokEOF:
+		return true
+	case t.isPunct(";"), t.isPunct("}"), t.isPunct(")"):
+		return true
+	case t.isKeyword("action"), t.isKeyword("accept"), t.isKeyword("announce"),
+		t.isKeyword("from"), t.isKeyword("to"), t.isKeyword("networks"):
+		return true
+	}
+	return false
+}
+
+// collectRouterExprs consumes the optional router expressions after an
+// as-expression: "<remote-router> [at <local-router>]". Tokens are kept
+// raw.
+func collectRouterExprs(c *cursor, p *ir.Peering) {
+	var remote, local []string
+	target := &remote
+	for {
+		t := c.peek()
+		if peeringStopper(t) {
+			break
+		}
+		if t.isKeyword("at") {
+			c.next()
+			target = &local
+			continue
+		}
+		c.next()
+		*target = append(*target, t.text)
+	}
+	p.RemoteRouter = strings.Join(remote, " ")
+	p.LocalRouter = strings.Join(local, " ")
+}
+
+// parseASExprOr parses as-expressions with precedence
+// EXCEPT = OR < AND (RFC 2622 treats EXCEPT like OR with subtraction
+// semantics; we parse left-associatively at the same level).
+func parseASExprOr(c *cursor) (*ir.ASExpr, bool) {
+	left, ok := parseASExprAnd(c)
+	if !ok {
+		return nil, false
+	}
+	for {
+		t := c.peek()
+		switch {
+		case t.isKeyword("or"):
+			c.next()
+			right, ok := parseASExprAnd(c)
+			if !ok {
+				return nil, false
+			}
+			left = &ir.ASExpr{Kind: ir.ASExprOr, Left: left, Right: right}
+		case t.isKeyword("except"):
+			c.next()
+			right, ok := parseASExprAnd(c)
+			if !ok {
+				return nil, false
+			}
+			left = &ir.ASExpr{Kind: ir.ASExprExcept, Left: left, Right: right}
+		default:
+			return left, true
+		}
+	}
+}
+
+func parseASExprAnd(c *cursor) (*ir.ASExpr, bool) {
+	left, ok := parseASExprPrimary(c)
+	if !ok {
+		return nil, false
+	}
+	for c.peek().isKeyword("and") {
+		c.next()
+		right, ok := parseASExprPrimary(c)
+		if !ok {
+			return nil, false
+		}
+		left = &ir.ASExpr{Kind: ir.ASExprAnd, Left: left, Right: right}
+	}
+	return left, true
+}
+
+func parseASExprPrimary(c *cursor) (*ir.ASExpr, bool) {
+	t := c.peek()
+	switch {
+	case t.isPunct("("):
+		c.next()
+		inner, ok := parseASExprOr(c)
+		if !ok {
+			return nil, false
+		}
+		if !c.peek().isPunct(")") {
+			return nil, false
+		}
+		c.next()
+		return inner, true
+	case t.kind == tokWord:
+		w := strings.ToUpper(t.text)
+		switch {
+		case w == "AS-ANY" || w == "ANY":
+			c.next()
+			return &ir.ASExpr{Kind: ir.ASExprAny}, true
+		case ir.IsASN(w):
+			c.next()
+			asn, _ := ir.ParseASN(w)
+			return &ir.ASExpr{Kind: ir.ASExprNum, ASN: asn}, true
+		case ClassifySetName(w) == SetClassAs:
+			c.next()
+			return &ir.ASExpr{Kind: ir.ASExprSet, Name: w}, true
+		}
+	}
+	return nil, false
+}

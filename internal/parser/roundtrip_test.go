@@ -1,0 +1,144 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+)
+
+// randFilter generates a random filter AST restricted to renderable,
+// re-parseable constructs.
+func randFilter(rng *rand.Rand, depth int) *ir.Filter {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(7) {
+		case 0:
+			return &ir.Filter{Kind: ir.FilterAny}
+		case 1:
+			return &ir.Filter{Kind: ir.FilterASN, ASN: ir.ASN(1 + rng.Intn(99999)), Op: randOp(rng)}
+		case 2:
+			return &ir.Filter{Kind: ir.FilterAsSet, Name: "AS-SET" + letter(rng), Op: randOp(rng)}
+		case 3:
+			return &ir.Filter{Kind: ir.FilterRouteSet, Name: "RS-SET" + letter(rng), Op: randOp(rng)}
+		case 4:
+			return &ir.Filter{Kind: ir.FilterPeerAS}
+		case 5:
+			return &ir.Filter{Kind: ir.FilterFilterSet, Name: "FLTR-F" + letter(rng)}
+		default:
+			n := 1 + rng.Intn(3)
+			ps := make([]prefix.Range, n)
+			for i := range ps {
+				ps[i] = prefix.Range{
+					Prefix: prefix.MustParse(randPrefix(rng)),
+					Op:     randOp(rng),
+				}
+			}
+			return &ir.Filter{Kind: ir.FilterPrefixSet, Prefixes: ps}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &ir.Filter{Kind: ir.FilterAnd, Left: randFilter(rng, depth-1), Right: randFilter(rng, depth-1)}
+	case 1:
+		return &ir.Filter{Kind: ir.FilterOr, Left: randFilter(rng, depth-1), Right: randFilter(rng, depth-1)}
+	default:
+		inner := randFilter(rng, depth-1)
+		if inner.Kind == ir.FilterAny {
+			// NOT ANY canonicalizes to FilterNone on parse; keep the
+			// generator within the fixed-point grammar.
+			inner = &ir.Filter{Kind: ir.FilterASN, ASN: 42}
+		}
+		return &ir.Filter{Kind: ir.FilterNot, Left: inner}
+	}
+}
+
+func randOp(rng *rand.Rand) prefix.RangeOp {
+	switch rng.Intn(5) {
+	case 0:
+		return prefix.RangeOp{Kind: prefix.RangeMinus}
+	case 1:
+		return prefix.RangeOp{Kind: prefix.RangePlus}
+	case 2:
+		n := 8 + rng.Intn(24)
+		return prefix.RangeOp{Kind: prefix.RangeExact, N: n}
+	case 3:
+		n := 8 + rng.Intn(16)
+		return prefix.RangeOp{Kind: prefix.RangeSpan, N: n, M: n + rng.Intn(8)}
+	default:
+		return prefix.NoOp
+	}
+}
+
+func randPrefix(rng *rand.Rand) string {
+	bits := 8 + rng.Intn(17)
+	a := rng.Intn(223) + 1
+	b := rng.Intn(256)
+	base := prefix.MustParse("0.0.0.0/0")
+	_ = base
+	p, err := prefix.Parse(
+		// Build "a.b.0.0/bits" and let Parse canonicalize.
+		itoa(a) + "." + itoa(b) + ".0.0/" + itoa(bits))
+	if err != nil {
+		return "192.0.2.0/24"
+	}
+	return p.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func letter(rng *rand.Rand) string {
+	return string(rune('A' + rng.Intn(26)))
+}
+
+// TestQuickFilterRoundTrip: rendering a filter AST to RPSL text and
+// re-parsing it reaches a fixed point — parse(String(f)) renders
+// identically to f. This pins the renderer and parser against each
+// other across the whole filter grammar.
+func TestQuickFilterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 1000; iter++ {
+		f := randFilter(rng, 3)
+		text := f.String()
+		parsed, err := ParseFilter(text)
+		if err != nil {
+			t.Fatalf("iter %d: ParseFilter(%q) error: %v", iter, text, err)
+		}
+		if parsed.ContainsKind(ir.FilterUnsupported) {
+			t.Fatalf("iter %d: %q parsed with unsupported node: %v", iter, text, parsed)
+		}
+		if got := parsed.String(); got != text {
+			t.Fatalf("iter %d: round trip %q -> %q", iter, text, got)
+		}
+	}
+}
+
+// TestQuickRuleRoundTrip does the same for complete rules built from
+// random filters.
+func TestQuickRuleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 300; iter++ {
+		f := randFilter(rng, 2)
+		text := "from AS" + itoa(1+rng.Intn(9999)) + " accept " + f.String()
+		rule, err := ParseRule(ir.DirImport, false, text)
+		if err != nil {
+			t.Fatalf("iter %d: ParseRule(%q) error: %v", iter, text, err)
+		}
+		got := rule.Expr.Factors[0].Filter.String()
+		if got != f.String() {
+			t.Fatalf("iter %d: filter in rule %q -> %q", iter, f.String(), got)
+		}
+	}
+}

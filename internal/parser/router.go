@@ -1,0 +1,92 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/rpsl"
+)
+
+// ParseDefaultRule parses a default/mp-default attribute value:
+//
+//	default: to <peering> [action <actions>] [networks <filter>]
+func ParseDefaultRule(mp bool, text string) (ir.DefaultRule, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return ir.DefaultRule{}, err
+	}
+	c := &cursor{toks: toks}
+	d := ir.DefaultRule{MP: mp, Raw: text}
+	// RPSLng allows a leading afi list; consume and ignore (the
+	// peering carries the semantics we keep).
+	if c.peek().isKeyword("afi") {
+		c.next()
+		if _, err := parseAFIList(c); err != nil {
+			return d, err
+		}
+	}
+	if !c.peek().isKeyword("to") {
+		return d, fmt.Errorf("parser: default without 'to' (found %q)", c.peek().text)
+	}
+	c.next()
+	peering, ok := parsePeering(c)
+	if !ok {
+		return d, fmt.Errorf("parser: bad peering in default")
+	}
+	d.Peering = peering
+	if c.peek().isKeyword("action") {
+		c.next()
+		actions, err := parseActions(c)
+		if err != nil {
+			return d, err
+		}
+		d.Actions = actions
+	}
+	if c.peek().isKeyword("networks") {
+		c.next()
+		d.Networks = parseFilterExpr(c)
+	}
+	for c.peek().isPunct(";") {
+		c.next()
+	}
+	if !c.atEOF() {
+		return d, fmt.Errorf("parser: trailing tokens in default at %q", c.peek().text)
+	}
+	return d, nil
+}
+
+// addInetRtr decomposes an inet-rtr object.
+func (b *Builder) addInetRtr(obj *rpsl.Object) {
+	name := strings.ToUpper(obj.Name)
+	if _, dup := b.IR.InetRtrs[name]; dup {
+		return
+	}
+	rtr := &ir.InetRtr{Name: name, Source: obj.Source}
+	if las, ok := obj.Get("local-as"); ok {
+		asn, err := ir.ParseASN(las)
+		if err != nil {
+			b.AddError(obj, "syntax", "bad local-as %q", las)
+		} else {
+			rtr.LocalAS = asn
+		}
+	}
+	rtr.IfAddrs = obj.All("ifaddr")
+	rtr.Peers = append(obj.All("peer"), obj.All("mp-peer")...)
+	b.IR.InetRtrs[name] = rtr
+}
+
+// addRtrSet decomposes an rtr-set object.
+func (b *Builder) addRtrSet(obj *rpsl.Object) {
+	name := obj.Name
+	if !validSetName(name, "RTRS-") {
+		b.AddError(obj, "invalid-rtr-set-name", "invalid rtr-set name %q", name)
+	}
+	if _, dup := b.IR.RtrSets[name]; dup {
+		return
+	}
+	set := &ir.RtrSet{Name: name, Source: obj.Source}
+	set.Members = splitList(strings.Join(obj.All("members"), ","))
+	set.Members = append(set.Members, splitList(strings.Join(obj.All("mp-members"), ","))...)
+	b.IR.RtrSets[name] = set
+}

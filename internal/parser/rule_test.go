@@ -1,0 +1,379 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/ir"
+)
+
+func mustRule(t *testing.T, dir ir.Direction, mp bool, text string) ir.Rule {
+	t.Helper()
+	r, err := ParseRule(dir, mp, text)
+	if err != nil {
+		t.Fatalf("ParseRule(%q) error: %v", text, err)
+	}
+	return r
+}
+
+func soleFactor(t *testing.T, r ir.Rule) ir.PolicyFactor {
+	t.Helper()
+	if r.Expr == nil || r.Expr.Kind != ir.PolicyTerm || len(r.Expr.Factors) != 1 {
+		t.Fatalf("rule is not a single-factor term: %+v", r.Expr)
+	}
+	return r.Expr.Factors[0]
+}
+
+func TestSimpleImport(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS4713 accept ANY")
+	f := soleFactor(t, r)
+	if len(f.Peerings) != 1 {
+		t.Fatalf("peerings = %d", len(f.Peerings))
+	}
+	pe := f.Peerings[0].Peering
+	if pe.ASExpr == nil || pe.ASExpr.Kind != ir.ASExprNum || pe.ASExpr.ASN != 4713 {
+		t.Errorf("peering = %+v", pe)
+	}
+	if f.Filter.Kind != ir.FilterAny {
+		t.Errorf("filter = %v", f.Filter)
+	}
+	if r.Expr.AFI != ir.AFIIPv4Unicast {
+		t.Errorf("default AFI = %v", r.Expr.AFI)
+	}
+}
+
+func TestSimpleExport(t *testing.T) {
+	// AS38639's rule from Section 2 of the paper.
+	r := mustRule(t, ir.DirExport, false, "to AS4713 announce AS-HANABI")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterAsSet || f.Filter.Name != "AS-HANABI" {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestExportSelfASN(t *testing.T) {
+	r := mustRule(t, ir.DirExport, false, "to AS58552 announce AS141893")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterASN || f.Filter.ASN != 141893 {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestActionPref(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS13911 action pref=200; accept <^AS13911 AS6327+$>")
+	f := soleFactor(t, r)
+	acts := f.Peerings[0].Actions
+	if len(acts) != 1 || acts[0].Attr != "pref" || acts[0].Op != "=" || acts[0].Value != "200" {
+		t.Errorf("actions = %+v", acts)
+	}
+	if f.Filter.Kind != ir.FilterPathRegex {
+		t.Fatalf("filter = %v", f.Filter)
+	}
+	re := f.Filter.Regex
+	if !re.AnchorBegin || !re.AnchorEnd {
+		t.Errorf("anchors = %v %v", re.AnchorBegin, re.AnchorEnd)
+	}
+}
+
+func TestMultiplePeeringsOneFilter(t *testing.T) {
+	// AS8323's rule from Appendix A: two peering/action pairs, one filter.
+	text := "from AS8267:AS-KRAKOW-1014 action pref=50; from AS8267:AS-KRAKOW-1015 action pref=50; accept PeerAS"
+	r := mustRule(t, ir.DirImport, false, text)
+	f := soleFactor(t, r)
+	if len(f.Peerings) != 2 {
+		t.Fatalf("peerings = %d", len(f.Peerings))
+	}
+	for i, pa := range f.Peerings {
+		if pa.Peering.ASExpr.Kind != ir.ASExprSet {
+			t.Errorf("peering %d = %+v", i, pa.Peering)
+		}
+		if len(pa.Actions) != 1 || pa.Actions[0].Value != "50" {
+			t.Errorf("actions %d = %+v", i, pa.Actions)
+		}
+	}
+	if f.Filter.Kind != ir.FilterPeerAS {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestMPImportWithRefine(t *testing.T) {
+	// AS14595's rule from Section 2 of the paper.
+	text := `afi any.unicast from AS13911 accept ANY AND NOT {0.0.0.0/0, ::0/0} REFINE afi ipv4.unicast from AS13911 action pref=200; accept <^AS13911 AS6327+$>`
+	r := mustRule(t, ir.DirImport, true, text)
+	if r.Expr.Kind != ir.PolicyRefine {
+		t.Fatalf("expr kind = %v", r.Expr.Kind)
+	}
+	want := ir.AFI{IPv4: true, IPv6: true, Unicast: true}
+	if r.Expr.AFI != want {
+		t.Errorf("outer AFI = %v", r.Expr.AFI)
+	}
+	left := r.Expr.Left
+	if left.Kind != ir.PolicyTerm || len(left.Factors) != 1 {
+		t.Fatalf("left = %+v", left)
+	}
+	lf := left.Factors[0].Filter
+	if lf.Kind != ir.FilterAnd || lf.Left.Kind != ir.FilterAny || lf.Right.Kind != ir.FilterNot {
+		t.Errorf("left filter = %v", lf)
+	}
+	if lf.Right.Left.Kind != ir.FilterPrefixSet || len(lf.Right.Left.Prefixes) != 2 {
+		t.Errorf("prefix set = %v", lf.Right.Left)
+	}
+	right := r.Expr.Right
+	if right.Kind != ir.PolicyTerm {
+		t.Fatalf("right = %+v", right)
+	}
+	if right.AFI != (ir.AFI{IPv4: true, Unicast: true}) {
+		t.Errorf("right AFI = %v", right.AFI)
+	}
+	if right.Factors[0].Filter.Kind != ir.FilterPathRegex {
+		t.Errorf("right filter = %v", right.Factors[0].Filter)
+	}
+}
+
+func TestStructuredPolicyBracedTerms(t *testing.T) {
+	// Condensed version of AS199284's rule from Appendix A.
+	text := `afi any {
+		from AS-ANY action community.delete(64628:10, 64628:11); accept ANY;
+	} REFINE afi any {
+		from AS-ANY action pref = 65535; accept community(65535:0);
+		from AS-ANY action pref = 65435; accept ANY;
+	} REFINE afi any {
+		from AS-ANY accept NOT AS199284^+;
+	} REFINE afi ipv4 {
+		from AS-ANY accept { 0.0.0.0/0^24 } AND NOT community(65535:666);
+		from AS-ANY accept { 0.0.0.0/0^24-32 } AND community(65535:666);
+	} REFINE afi any {
+		from AS15725 action community .= { 64628:20 }; accept AS-IKS AND <AS-IKS+$>;
+		from AS199284:AS-UP action community .= { 64628:21 }; accept ANY;
+		from AS-ANY action community .= { 64628:22 }; accept PeerAS and <^PeerAS+$>;
+	} REFINE afi any {
+		from AS-ANY EXCEPT (AS40027 OR AS63293 OR AS65535) accept ANY;
+	}`
+	r := mustRule(t, ir.DirImport, true, text)
+
+	// Walk the refine chain and count levels.
+	levels := 0
+	node := r.Expr
+	for node.Kind == ir.PolicyRefine {
+		levels++
+		node = node.Right
+	}
+	if levels != 5 {
+		t.Errorf("refine levels = %d, want 5", levels)
+	}
+	// The last level has the EXCEPT as-expression peering.
+	last := node
+	if last.Kind != ir.PolicyTerm || len(last.Factors) != 1 {
+		t.Fatalf("last level = %+v", last)
+	}
+	pe := last.Factors[0].Peerings[0].Peering.ASExpr
+	if pe.Kind != ir.ASExprExcept || pe.Left.Kind != ir.ASExprAny {
+		t.Errorf("last peering = %v", pe)
+	}
+	if pe.Right.Kind != ir.ASExprOr {
+		t.Errorf("except right = %v", pe.Right)
+	}
+
+	// Second level: first factor accepts community(65535:0).
+	second := r.Expr.Right
+	if second.Kind != ir.PolicyRefine {
+		t.Fatalf("second = %+v", second)
+	}
+	sf := second.Left.Factors
+	if len(sf) != 2 {
+		t.Fatalf("second level factors = %d", len(sf))
+	}
+	if sf[0].Filter.Kind != ir.FilterCommunity {
+		t.Errorf("community filter = %v", sf[0].Filter)
+	}
+	if sf[0].Peerings[0].Actions[0].Value != "65535" {
+		t.Errorf("pref action = %+v", sf[0].Peerings[0].Actions)
+	}
+	// community .= { ... } action parses with op .=
+	fifth := r.Expr.Right.Right.Right.Right.Left
+	acts := fifth.Factors[0].Peerings[0].Actions
+	if len(acts) != 1 || acts[0].Op != ".=" || !strings.Contains(acts[0].Value, "64628:20") {
+		t.Errorf("community .= action = %+v", acts)
+	}
+}
+
+func TestExceptPolicy(t *testing.T) {
+	text := "from AS1 accept ANY EXCEPT from AS2 accept AS2"
+	r := mustRule(t, ir.DirImport, false, text)
+	if r.Expr.Kind != ir.PolicyExcept {
+		t.Fatalf("kind = %v", r.Expr.Kind)
+	}
+	if r.Expr.Right.Factors[0].Filter.Kind != ir.FilterASN {
+		t.Errorf("right filter = %v", r.Expr.Right.Factors[0].Filter)
+	}
+}
+
+func TestProtocolClause(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "protocol BGP4 into BGP4 from AS1 accept ANY")
+	if r.Protocol != "BGP4" || r.IntoProtocol != "BGP4" {
+		t.Errorf("protocol = %q into %q", r.Protocol, r.IntoProtocol)
+	}
+}
+
+func TestPeeringWithRouterExprs(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false,
+		"from AS1 192.0.2.1 at 192.0.2.2 action pref=10; accept ANY")
+	f := soleFactor(t, r)
+	pe := f.Peerings[0].Peering
+	if pe.RemoteRouter != "192.0.2.1" || pe.LocalRouter != "192.0.2.2" {
+		t.Errorf("routers = %q at %q", pe.RemoteRouter, pe.LocalRouter)
+	}
+}
+
+func TestPeeringSetReference(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from PRNG-EXAMPLE accept ANY")
+	f := soleFactor(t, r)
+	if f.Peerings[0].Peering.PeeringSet != "PRNG-EXAMPLE" {
+		t.Errorf("peering = %+v", f.Peerings[0].Peering)
+	}
+}
+
+func TestFilterSetReference(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS1 accept FLTR-MARTIAN")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterFilterSet || f.Filter.Name != "FLTR-MARTIAN" {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestNotFltrMartian(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS-ANY accept NOT fltr-martian")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterNot || f.Filter.Left.Kind != ir.FilterFilterSet {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestRouteSetWithRangeOp(t *testing.T) {
+	// The nonstandard route-set^op construct the paper supports.
+	r := mustRule(t, ir.DirImport, false, "from AS1 accept RS-FOO^24-32")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterRouteSet || f.Filter.Name != "RS-FOO" {
+		t.Fatalf("filter = %v", f.Filter)
+	}
+	if f.Filter.Op.Kind != 4 { // RangeSpan
+		t.Errorf("op = %v", f.Filter.Op)
+	}
+}
+
+func TestInlinePrefixSetWithOpUnsupported(t *testing.T) {
+	// The construct the paper does not handle (2 rules in the wild).
+	r := mustRule(t, ir.DirImport, false, "from AS1 accept {192.0.2.0/24} ^+")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterUnsupported {
+		t.Errorf("filter = %v, want unsupported", f.Filter)
+	}
+}
+
+func TestImplicitOrJuxtaposition(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS1 accept AS2 AS3")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterOr {
+		t.Fatalf("filter = %v", f.Filter)
+	}
+	if f.Filter.Left.ASN != 2 || f.Filter.Right.ASN != 3 {
+		t.Errorf("operands = %v %v", f.Filter.Left, f.Filter.Right)
+	}
+}
+
+func TestAndNotComposite(t *testing.T) {
+	r := mustRule(t, ir.DirExport, false, "to AS1 announce AS-FOO AND NOT AS-BAR")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterAnd || f.Filter.Right.Kind != ir.FilterNot {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestNotAnyBecomesNone(t *testing.T) {
+	r := mustRule(t, ir.DirExport, false, "to AS1 announce NOT ANY")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterNone {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}
+
+func TestASNWithRangeOpFilter(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS-ANY accept NOT AS199284^+")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterNot {
+		t.Fatalf("filter = %v", f.Filter)
+	}
+	inner := f.Filter.Left
+	if inner.Kind != ir.FilterASN || inner.ASN != 199284 || inner.Op.Kind == 0 {
+		t.Errorf("inner = %v op=%v", inner, inner.Op)
+	}
+}
+
+func TestRuleErrors(t *testing.T) {
+	bad := []string{
+		"accept ANY",                     // no peering clause
+		"from AS1",                       // no filter keyword
+		"from AS1 announce ANY",          // wrong keyword for import
+		"from !!! accept ANY",            // unparseable peering
+		"from AS1 accept ANY } trailing", // stray term closer
+	}
+	for _, text := range bad {
+		if _, err := ParseRule(ir.DirImport, false, text); err == nil {
+			t.Errorf("ParseRule(%q) succeeded, want error", text)
+		}
+	}
+	// Junk after the filter that can still be absorbed parses
+	// tolerantly into an unsupported filter (rules containing it verify
+	// as Skip) rather than failing.
+	r, err := ParseRule(ir.DirImport, false, "from AS1 accept ANY garbage extra")
+	if err != nil {
+		t.Fatalf("tolerant parse failed: %v", err)
+	}
+	if !r.Expr.Factors[0].Filter.ContainsKind(ir.FilterUnsupported) {
+		t.Error("junk should surface as an unsupported filter node")
+	}
+}
+
+func TestRuleErrorsHard(t *testing.T) {
+	bad := []string{}
+	for _, text := range bad {
+		if _, err := ParseRule(ir.DirImport, false, text); err == nil {
+			t.Errorf("ParseRule(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestCommunityDotEqualsInlineValue(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS1 action med=0; community.append(8226:1102); accept ANY")
+	f := soleFactor(t, r)
+	acts := f.Peerings[0].Actions
+	if len(acts) != 2 {
+		t.Fatalf("actions = %+v", acts)
+	}
+	if acts[1].Attr != "community" || acts[1].Op != "append" || acts[1].Value != "8226:1102" {
+		t.Errorf("community action = %+v", acts[1])
+	}
+}
+
+func TestAFIList(t *testing.T) {
+	r := mustRule(t, ir.DirImport, true, "afi ipv4.unicast, ipv6.unicast from AS1 accept ANY")
+	want := ir.AFI{IPv4: true, IPv6: true, Unicast: true}
+	if r.Expr.AFI != want {
+		t.Errorf("AFI = %+v", r.Expr.AFI)
+	}
+}
+
+func TestDefaultAFIMP(t *testing.T) {
+	r := mustRule(t, ir.DirImport, true, "from AS1 accept ANY")
+	if r.Expr.AFI != ir.AFIAnyUnicast {
+		t.Errorf("AFI = %+v", r.Expr.AFI)
+	}
+}
+
+func TestBareSemicolonAfterFactor(t *testing.T) {
+	r := mustRule(t, ir.DirImport, false, "from AS1 accept ANY;")
+	f := soleFactor(t, r)
+	if f.Filter.Kind != ir.FilterAny {
+		t.Errorf("filter = %v", f.Filter)
+	}
+}

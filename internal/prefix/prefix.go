@@ -1,0 +1,282 @@
+// Package prefix provides IP prefix types and operations used throughout
+// RPSLyzer: parsing of IPv4/IPv6 prefixes, containment tests, RPSL prefix
+// range operators (^-, ^+, ^n, ^n-m), and sorted route tables supporting
+// binary search by prefix.
+//
+// The RPSL (RFC 2622 section 2) attaches range operators to address
+// prefixes and to set names. A range operator widens a prefix into a set
+// of more-specific prefixes; this package implements the matching
+// semantics rather than materializing the (potentially huge) sets.
+package prefix
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IP prefix in canonical (masked) form. It wraps
+// netip.Prefix so that the rest of the code base has a single type to
+// import, and so methods specific to RPSL semantics can live here.
+type Prefix struct {
+	netip.Prefix
+}
+
+// Parse parses an IPv4 or IPv6 prefix in CIDR notation. The address is
+// canonicalized to its masked form, mirroring how IRR daemons normalize
+// route objects.
+func Parse(s string) (Prefix, error) {
+	p, err := netip.ParsePrefix(strings.TrimSpace(s))
+	if err != nil {
+		return Prefix{}, fmt.Errorf("prefix: %w", err)
+	}
+	return Prefix{p.Masked()}, nil
+}
+
+// MustParse is like Parse but panics on error. For tests and generators.
+func MustParse(s string) Prefix {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromNetip wraps a netip.Prefix, masking it to canonical form.
+func FromNetip(p netip.Prefix) Prefix { return Prefix{p.Masked()} }
+
+// IsIPv4 reports whether the prefix is an IPv4 prefix.
+func (p Prefix) IsIPv4() bool { return p.Addr().Is4() }
+
+// IsIPv6 reports whether the prefix is an IPv6 prefix.
+func (p Prefix) IsIPv6() bool { return p.Addr().Is6() && !p.Addr().Is4In6() }
+
+// Covers reports whether p contains q: every address in q is in p.
+// A prefix covers itself.
+func (p Prefix) Covers(q Prefix) bool {
+	if p.Addr().Is4() != q.Addr().Is4() {
+		return false
+	}
+	return p.Bits() <= q.Bits() && p.Contains(q.Addr())
+}
+
+// Compare orders prefixes by address family (IPv4 first), then address,
+// then prefix length. It defines the order used by Table for binary search.
+func (p Prefix) Compare(q Prefix) int {
+	pa, qa := p.Addr(), q.Addr()
+	if pa.Is4() != qa.Is4() {
+		if pa.Is4() {
+			return -1
+		}
+		return 1
+	}
+	if c := pa.Compare(qa); c != 0 {
+		return c
+	}
+	switch {
+	case p.Bits() < q.Bits():
+		return -1
+	case p.Bits() > q.Bits():
+		return 1
+	}
+	return 0
+}
+
+// RangeKind enumerates RPSL prefix range operators.
+type RangeKind uint8
+
+const (
+	// RangeNone means no operator: exact-match the prefix.
+	RangeNone RangeKind = iota
+	// RangeMinus is ^-: all more-specifics excluding the prefix itself.
+	RangeMinus
+	// RangePlus is ^+: the prefix and all its more-specifics.
+	RangePlus
+	// RangeExact is ^n: more-specifics (inclusive) whose length is exactly n.
+	RangeExact
+	// RangeSpan is ^n-m: more-specifics (inclusive) with length in [n, m].
+	RangeSpan
+)
+
+// String renders the kind for diagnostics.
+func (k RangeKind) String() string {
+	switch k {
+	case RangeNone:
+		return "none"
+	case RangeMinus:
+		return "^-"
+	case RangePlus:
+		return "^+"
+	case RangeExact:
+		return "^n"
+	case RangeSpan:
+		return "^n-m"
+	}
+	return "invalid"
+}
+
+// RangeOp is an RPSL prefix range operator, possibly absent (RangeNone).
+type RangeOp struct {
+	Kind RangeKind `json:"kind"`
+	N    int       `json:"n,omitempty"`
+	M    int       `json:"m,omitempty"`
+}
+
+// NoOp is the absent range operator.
+var NoOp = RangeOp{Kind: RangeNone}
+
+// ParseRangeOp parses the text of a range operator without the leading
+// caret, e.g. "-", "+", "24", "24-32".
+func ParseRangeOp(s string) (RangeOp, error) {
+	switch s {
+	case "-":
+		return RangeOp{Kind: RangeMinus}, nil
+	case "+":
+		return RangeOp{Kind: RangePlus}, nil
+	}
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		n, err1 := strconv.Atoi(s[:i])
+		m, err2 := strconv.Atoi(s[i+1:])
+		if err1 != nil || err2 != nil || n < 0 || m < n || m > 128 {
+			return RangeOp{}, fmt.Errorf("prefix: invalid range operator ^%s", s)
+		}
+		return RangeOp{Kind: RangeSpan, N: n, M: m}, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 128 {
+		return RangeOp{}, fmt.Errorf("prefix: invalid range operator ^%s", s)
+	}
+	return RangeOp{Kind: RangeExact, N: n}, nil
+}
+
+// String renders the operator in RPSL syntax ("" when absent).
+func (op RangeOp) String() string {
+	switch op.Kind {
+	case RangeNone:
+		return ""
+	case RangeMinus:
+		return "^-"
+	case RangePlus:
+		return "^+"
+	case RangeExact:
+		return fmt.Sprintf("^%d", op.N)
+	case RangeSpan:
+		return fmt.Sprintf("^%d-%d", op.N, op.M)
+	}
+	return "^?"
+}
+
+// IsNone reports whether the operator is absent.
+func (op RangeOp) IsNone() bool { return op.Kind == RangeNone }
+
+// Match reports whether candidate prefix p is in the set described by
+// base prefix b widened by the operator. With RangeNone this is exact
+// equality; otherwise it follows RFC 2622 section 2:
+//
+//	b^-    more-specifics of b, excluding b
+//	b^+    b and its more-specifics
+//	b^n    more-specifics of b (inclusive) of length exactly n
+//	b^n-m  more-specifics of b (inclusive) of length n through m
+func (op RangeOp) Match(b, p Prefix) bool {
+	switch op.Kind {
+	case RangeNone:
+		return b.Compare(p) == 0
+	case RangeMinus:
+		return b.Covers(p) && p.Bits() > b.Bits()
+	case RangePlus:
+		return b.Covers(p)
+	case RangeExact:
+		return b.Covers(p) && p.Bits() == op.N
+	case RangeSpan:
+		return b.Covers(p) && p.Bits() >= op.N && p.Bits() <= op.M
+	}
+	return false
+}
+
+// Compose merges an outer operator applied to a member that already
+// carries an inner operator, per RFC 2622: the result spans from the
+// minimum length implied by the inner operator to the range of the outer
+// one. In practice tools approximate: outer ^- and ^+ widen, outer
+// ^n / ^n-m override the upper range. We implement the RFC's
+// interpretation used by IRRToolSet: applying an operator to a set
+// applies it to every member, replacing a weaker operator.
+func Compose(inner, outer RangeOp) RangeOp {
+	if outer.IsNone() {
+		return inner
+	}
+	if inner.IsNone() {
+		return outer
+	}
+	// Both present: the outer operator governs the final length window.
+	// ^- and ^+ keep the inner lower bound open; numeric outer ops take over.
+	switch outer.Kind {
+	case RangePlus:
+		// inner^+ == widen to include everything inner reached plus more
+		// specifics; the union is "all more specifics inclusive".
+		return RangeOp{Kind: RangePlus}
+	case RangeMinus:
+		if inner.Kind == RangeMinus {
+			return RangeOp{Kind: RangeMinus}
+		}
+		return RangeOp{Kind: RangeMinus}
+	default:
+		return outer
+	}
+}
+
+// A Range couples a prefix with a range operator; it is the element type
+// of RPSL prefix sets such as { 10.0.0.0/8^+, 192.0.2.0/24 }.
+type Range struct {
+	Prefix Prefix  `json:"prefix"`
+	Op     RangeOp `json:"op"`
+}
+
+// ParseRange parses "prefix[^op]".
+func ParseRange(s string) (Range, error) {
+	s = strings.TrimSpace(s)
+	op := NoOp
+	if i := strings.IndexByte(s, '^'); i >= 0 {
+		parsed, err := ParseRangeOp(s[i+1:])
+		if err != nil {
+			return Range{}, err
+		}
+		op = parsed
+		s = s[:i]
+	}
+	p, err := Parse(s)
+	if err != nil {
+		return Range{}, err
+	}
+	return Range{Prefix: p, Op: op}, nil
+}
+
+// Match reports whether p is in the set described by the range.
+func (r Range) Match(p Prefix) bool { return r.Op.Match(r.Prefix, p) }
+
+// String renders the range in RPSL syntax.
+func (r Range) String() string { return r.Prefix.String() + r.Op.String() }
+
+// MarshalText implements encoding.TextMarshaler for JSON map keys and
+// compact encodings. The zero Prefix marshals as the empty string.
+func (p Prefix) MarshalText() ([]byte, error) {
+	if !p.IsValid() {
+		return nil, nil
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. The empty string
+// decodes to the zero Prefix.
+func (p *Prefix) UnmarshalText(b []byte) error {
+	if len(b) == 0 {
+		*p = Prefix{}
+		return nil
+	}
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

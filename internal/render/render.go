@@ -1,0 +1,291 @@
+// Package render emits RPSL text from the intermediate representation
+// — the inverse of parsing. It enables IR-to-registry export (mirror
+// dumps, migration tooling, whois responses) and gives the test suite
+// a strong property: parse → render → parse is a fixed point.
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rpslyzer/internal/ir"
+)
+
+// attr writes one attribute line with canonical 16-column alignment.
+func attr(w io.Writer, key, value string) {
+	pad := 16 - len(key) - 1
+	if pad < 1 {
+		pad = 1
+	}
+	if value == "" {
+		fmt.Fprintf(w, "%s:\n", key)
+		return
+	}
+	fmt.Fprintf(w, "%s:%s%s\n", key, strings.Repeat(" ", pad), value)
+}
+
+// AutNum renders an aut-num object.
+func AutNum(w io.Writer, an *ir.AutNum) {
+	attr(w, "aut-num", an.ASN.String())
+	if an.Name != "" {
+		attr(w, "as-name", an.Name)
+	}
+	for i := range an.Imports {
+		key := "import"
+		if an.Imports[i].MP {
+			key = "mp-import"
+		}
+		attr(w, key, an.Imports[i].Raw)
+	}
+	for i := range an.Exports {
+		key := "export"
+		if an.Exports[i].MP {
+			key = "mp-export"
+		}
+		attr(w, key, an.Exports[i].Raw)
+	}
+	for i := range an.Defaults {
+		key := "default"
+		if an.Defaults[i].MP {
+			key = "mp-default"
+		}
+		attr(w, key, an.Defaults[i].Raw)
+	}
+	for _, m := range an.MemberOfs {
+		attr(w, "member-of", m)
+	}
+	for _, m := range an.MntBys {
+		attr(w, "mnt-by", m)
+	}
+	if an.Source != "" {
+		attr(w, "source", an.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// AsSet renders an as-set object.
+func AsSet(w io.Writer, set *ir.AsSet) {
+	attr(w, "as-set", set.Name)
+	var members []string
+	for _, a := range set.MemberASNs {
+		members = append(members, a.String())
+	}
+	members = append(members, set.MemberSets...)
+	if set.ContainsAnyKeyword {
+		members = append(members, "ANY")
+	}
+	if len(members) > 0 {
+		attr(w, "members", strings.Join(members, ", "))
+	}
+	for _, m := range set.MbrsByRef {
+		attr(w, "mbrs-by-ref", m)
+	}
+	for _, m := range set.MntBys {
+		attr(w, "mnt-by", m)
+	}
+	if set.Source != "" {
+		attr(w, "source", set.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// RouteSet renders a route-set object.
+func RouteSet(w io.Writer, set *ir.RouteSet) {
+	attr(w, "route-set", set.Name)
+	var members []string
+	for _, m := range set.Members {
+		switch m.Kind {
+		case ir.RSMemberPrefix:
+			members = append(members, m.Prefix.String())
+		case ir.RSMemberSet:
+			members = append(members, m.Name+m.Op.String())
+		case ir.RSMemberASN:
+			members = append(members, m.ASN.String()+m.Op.String())
+		}
+	}
+	if len(members) > 0 {
+		attr(w, "members", strings.Join(members, ", "))
+	}
+	for _, m := range set.MbrsByRef {
+		attr(w, "mbrs-by-ref", m)
+	}
+	for _, m := range set.MntBys {
+		attr(w, "mnt-by", m)
+	}
+	if set.Source != "" {
+		attr(w, "source", set.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// PeeringSet renders a peering-set object.
+func PeeringSet(w io.Writer, set *ir.PeeringSet) {
+	attr(w, "peering-set", set.Name)
+	for i := range set.Peerings {
+		attr(w, "peering", renderPeering(&set.Peerings[i]))
+	}
+	if set.Source != "" {
+		attr(w, "source", set.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// renderPeering reconstructs a peering clause.
+func renderPeering(p *ir.Peering) string {
+	var parts []string
+	if p.PeeringSet != "" {
+		parts = append(parts, p.PeeringSet)
+	} else if p.ASExpr != nil {
+		parts = append(parts, stripOuterParens(p.ASExpr.String()))
+	}
+	if p.RemoteRouter != "" {
+		parts = append(parts, p.RemoteRouter)
+	}
+	if p.LocalRouter != "" {
+		parts = append(parts, "at", p.LocalRouter)
+	}
+	return strings.Join(parts, " ")
+}
+
+// stripOuterParens removes one enclosing paren pair if it wraps the
+// whole expression (ASExpr.String always parenthesizes composites).
+func stripOuterParens(s string) string {
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return s
+	}
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 && i != len(s)-1 {
+				return s
+			}
+		}
+	}
+	return s[1 : len(s)-1]
+}
+
+// FilterSet renders a filter-set object.
+func FilterSet(w io.Writer, set *ir.FilterSet) {
+	attr(w, "filter-set", set.Name)
+	if set.Filter != nil {
+		attr(w, "filter", stripOuterFilterParens(set.Filter.String()))
+	}
+	if set.Source != "" {
+		attr(w, "source", set.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+func stripOuterFilterParens(s string) string { return stripOuterParens(s) }
+
+// Route renders a route/route6 object.
+func Route(w io.Writer, r *ir.RouteObject) {
+	class := "route"
+	if r.Prefix.IsIPv6() {
+		class = "route6"
+	}
+	attr(w, class, r.Prefix.String())
+	attr(w, "origin", r.Origin.String())
+	for _, m := range r.MemberOfs {
+		attr(w, "member-of", m)
+	}
+	for _, m := range r.MntBys {
+		attr(w, "mnt-by", m)
+	}
+	if r.Source != "" {
+		attr(w, "source", r.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// InetRtr renders an inet-rtr object.
+func InetRtr(w io.Writer, r *ir.InetRtr) {
+	attr(w, "inet-rtr", strings.ToLower(r.Name))
+	if r.LocalAS != 0 {
+		attr(w, "local-as", r.LocalAS.String())
+	}
+	for _, a := range r.IfAddrs {
+		attr(w, "ifaddr", a)
+	}
+	for _, p := range r.Peers {
+		attr(w, "peer", p)
+	}
+	if r.Source != "" {
+		attr(w, "source", r.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// RtrSet renders an rtr-set object.
+func RtrSet(w io.Writer, set *ir.RtrSet) {
+	attr(w, "rtr-set", set.Name)
+	if len(set.Members) > 0 {
+		attr(w, "members", strings.Join(set.Members, ", "))
+	}
+	if set.Source != "" {
+		attr(w, "source", set.Source)
+	}
+	io.WriteString(w, "\n")
+}
+
+// IR renders an entire IR as per-source dump texts, deterministically
+// ordered (objects grouped by their recorded source; objects without a
+// source land under the empty key).
+func IR(x *ir.IR) map[string]string {
+	bufs := make(map[string]*strings.Builder)
+	get := func(src string) *strings.Builder {
+		b := bufs[src]
+		if b == nil {
+			b = &strings.Builder{}
+			bufs[src] = b
+		}
+		return b
+	}
+	for _, asn := range x.SortedAutNums() {
+		an := x.AutNums[asn]
+		AutNum(get(an.Source), an)
+	}
+	for _, name := range sortedKeys(x.AsSets) {
+		AsSet(get(x.AsSets[name].Source), x.AsSets[name])
+	}
+	for _, name := range sortedKeys(x.RouteSets) {
+		RouteSet(get(x.RouteSets[name].Source), x.RouteSets[name])
+	}
+	for _, name := range sortedKeys(x.PeeringSets) {
+		PeeringSet(get(x.PeeringSets[name].Source), x.PeeringSets[name])
+	}
+	for _, name := range sortedKeys(x.FilterSets) {
+		FilterSet(get(x.FilterSets[name].Source), x.FilterSets[name])
+	}
+	for _, name := range sortedKeys(x.InetRtrs) {
+		InetRtr(get(x.InetRtrs[name].Source), x.InetRtrs[name])
+	}
+	for _, name := range sortedKeys(x.RtrSets) {
+		RtrSet(get(x.RtrSets[name].Source), x.RtrSets[name])
+	}
+	// Routes keep insertion order (their multiplicity across sources
+	// matters); render per source.
+	for _, r := range x.Routes {
+		Route(get(r.Source), r)
+	}
+	out := make(map[string]string, len(bufs))
+	for src, b := range bufs {
+		out[src] = b.String()
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+// Package rov implements Route Origin Validation (RFC 6483/6811), the
+// other deployed route-security mechanism the paper's related work
+// compares against: Route Origin Authorizations bind prefixes (with a
+// maximum length) to origin ASes, and validators classify each
+// announcement as valid, invalid, or not-found. The paper notes ROV
+// "only checks the first AS in the AS-path"; this module provides that
+// mechanism so its coverage can be compared with RPSL verification and
+// ASPA on the same routes.
+package rov
+
+import (
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/topology"
+)
+
+// ROA is one Route Origin Authorization.
+type ROA struct {
+	Prefix prefix.Prefix `json:"prefix"`
+	// MaxLength is the longest announced prefix the ROA covers;
+	// 0 means "the prefix's own length".
+	MaxLength int    `json:"max_length,omitempty"`
+	Origin    ir.ASN `json:"origin"`
+}
+
+// covers reports whether the ROA covers an announcement of p.
+func (r ROA) covers(p prefix.Prefix) bool {
+	if !r.Prefix.Covers(p) {
+		return false
+	}
+	maxLen := r.MaxLength
+	if maxLen == 0 {
+		maxLen = r.Prefix.Bits()
+	}
+	return p.Bits() <= maxLen
+}
+
+// Outcome is the RFC 6811 validation state.
+type Outcome uint8
+
+const (
+	// NotFound: no ROA covers the prefix.
+	NotFound Outcome = iota
+	// Valid: a covering ROA authorizes the origin at this length.
+	Valid
+	// Invalid: ROAs cover the prefix but none authorizes the
+	// (origin, length) pair.
+	Invalid
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	}
+	return "not-found"
+}
+
+// Database holds ROAs indexed for covering lookups.
+type Database struct {
+	roas []ROA
+	// tbl indexes ROA prefixes widened by their max length for
+	// candidate discovery.
+	tbl *prefix.Table
+	// byBase groups ROAs by base prefix for the verdict pass.
+	byBase map[prefix.Prefix][]ROA
+}
+
+// New builds a database from ROAs.
+func New(roas []ROA) *Database {
+	db := &Database{roas: roas, byBase: make(map[prefix.Prefix][]ROA)}
+	ranges := make([]prefix.Range, 0, len(roas))
+	for _, r := range roas {
+		// Index bases with ^+ so over-long announcements still find
+		// their covering ROA (they classify Invalid, not NotFound).
+		ranges = append(ranges, prefix.Range{
+			Prefix: r.Prefix,
+			Op:     prefix.RangeOp{Kind: prefix.RangePlus},
+		})
+		db.byBase[r.Prefix] = append(db.byBase[r.Prefix], r)
+	}
+	db.tbl = prefix.NewTable(ranges)
+	return db
+}
+
+// Len returns the number of ROAs.
+func (db *Database) Len() int { return len(db.roas) }
+
+// Validate classifies an announcement of p with the given origin.
+func (db *Database) Validate(p prefix.Prefix, origin ir.ASN) Outcome {
+	covering := db.tbl.LookupCovering(p)
+	if len(covering) == 0 {
+		return NotFound
+	}
+	for _, e := range covering {
+		for _, r := range db.byBase[e.Prefix] {
+			if r.covers(p) && r.Origin == origin {
+				return Valid
+			}
+		}
+	}
+	return Invalid
+}
+
+// FromTopology builds the ROAs a given fraction of ASes would publish
+// for their legitimate prefixes (max length = the prefix length, the
+// recommended practice). adoptFrac 1.0 is universal RPKI adoption.
+func FromTopology(topo *topology.Topology, adoptFrac float64, seed int64) *Database {
+	var roas []ROA
+	rng := splitmix(uint64(seed))
+	for _, asn := range topo.Order {
+		if float64(rng.next()>>11)/float64(1<<53) >= adoptFrac {
+			continue
+		}
+		for _, p := range topo.ASes[asn].Prefixes {
+			roas = append(roas, ROA{Prefix: p, Origin: asn})
+		}
+	}
+	return New(roas)
+}
+
+type splitmix uint64
+
+func (s *splitmix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,82 @@
+package rov
+
+import (
+	"testing"
+
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/topology"
+)
+
+func testDB() *Database {
+	return New([]ROA{
+		{Prefix: prefix.MustParse("192.0.2.0/24"), Origin: 64500},
+		{Prefix: prefix.MustParse("10.0.0.0/8"), MaxLength: 16, Origin: 64501},
+		{Prefix: prefix.MustParse("10.0.0.0/8"), MaxLength: 24, Origin: 64502},
+	})
+}
+
+func TestValidate(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		p      string
+		origin uint32
+		want   Outcome
+	}{
+		{"192.0.2.0/24", 64500, Valid},
+		{"192.0.2.0/24", 64501, Invalid}, // wrong origin
+		{"192.0.2.0/25", 64500, Invalid}, // beyond max length
+		{"198.51.100.0/24", 64500, NotFound},
+		{"10.5.0.0/16", 64501, Valid},   // within max length 16
+		{"10.5.5.0/24", 64501, Invalid}, // beyond 64501's max length
+		{"10.5.5.0/24", 64502, Valid},   // 64502's ROA allows /24
+		{"10.0.0.0/8", 64501, Valid},
+		{"10.0.0.0/30", 64502, Invalid}, // beyond every max length
+	}
+	for _, tc := range cases {
+		got := db.Validate(prefix.MustParse(tc.p), asn(tc.origin))
+		if got != tc.want {
+			t.Errorf("Validate(%s, AS%d) = %v, want %v", tc.p, tc.origin, got, tc.want)
+		}
+	}
+}
+
+func TestFromTopologyFullAdoption(t *testing.T) {
+	topo := topology.Generate(topology.Config{Seed: 6, ASes: 150})
+	db := FromTopology(topo, 1.0, 6)
+	if db.Len() == 0 {
+		t.Fatal("no ROAs")
+	}
+	// Every legitimate announcement validates.
+	sim := bgpsim.NewSimulator(topo)
+	routes := sim.CollectRoutes(sim.DefaultCollectors(2), bgpsim.Options{Seed: 6, PrependFrac: -1, ASSetFrac: -1})
+	for _, r := range routes {
+		origin := r.Path[len(r.Path)-1]
+		if got := db.Validate(r.Prefix, origin); got != Valid {
+			t.Fatalf("legitimate route %v (origin %v) = %v", r.Prefix, origin, got)
+		}
+	}
+	// A forged origin is Invalid.
+	any := routes[0]
+	if got := db.Validate(any.Prefix, 65551); got != Invalid {
+		t.Errorf("hijacked origin = %v, want invalid", got)
+	}
+}
+
+func TestFromTopologyPartialAdoption(t *testing.T) {
+	topo := topology.Generate(topology.Config{Seed: 6, ASes: 150})
+	full := FromTopology(topo, 1.0, 6)
+	half := FromTopology(topo, 0.5, 6)
+	if half.Len() >= full.Len() || half.Len() == 0 {
+		t.Errorf("partial %d vs full %d", half.Len(), full.Len())
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Valid.String() != "valid" || Invalid.String() != "invalid" || NotFound.String() != "not-found" {
+		t.Error("outcome names")
+	}
+}
+
+func asn(n uint32) ir.ASN { return ir.ASN(n) }

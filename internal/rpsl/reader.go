@@ -1,0 +1,201 @@
+package rpsl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Diagnostic records a lexical problem found while reading a dump. The
+// reader never aborts on malformed input; it records what it skipped.
+type Diagnostic struct {
+	Source string `json:"source,omitempty"`
+	Line   int    `json:"line"`
+	Msg    string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s", d.Source, d.Line, d.Msg)
+}
+
+// Reader splits an IRR dump into RPSL objects. Objects are separated by
+// one or more blank lines; attribute lines are "key: value"; a line
+// beginning with whitespace or '+' continues the previous attribute;
+// lines starting with '%' or '#' are file-level comments.
+type Reader struct {
+	scan   *bufio.Scanner
+	source string
+	line   int
+	diags  []Diagnostic
+	err    error
+}
+
+// NewReader creates a Reader over r. source labels objects and
+// diagnostics (typically the IRR name, e.g. "RIPE").
+func NewReader(r io.Reader, source string) *Reader {
+	sc := bufio.NewScanner(r)
+	// IRR dumps contain enormous attribute values (as-sets with tens of
+	// thousands of members on folded lines).
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{scan: sc, source: source}
+}
+
+// Diagnostics returns the problems encountered so far.
+func (r *Reader) Diagnostics() []Diagnostic { return r.diags }
+
+// Err returns the first underlying I/O error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) addDiag(line int, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{
+		Source: r.source,
+		Line:   line,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+// Next returns the next object in the dump, or nil when the input is
+// exhausted. Malformed lines are skipped with a diagnostic.
+func (r *Reader) Next() *Object {
+	var obj *Object
+	var curKey string
+	var curVal []string
+	var curLine int
+
+	flushAttr := func() {
+		if obj == nil || curKey == "" {
+			curKey, curVal = "", nil
+			return
+		}
+		val := strings.TrimSpace(strings.Join(curVal, " "))
+		obj.Attrs = append(obj.Attrs, Attribute{Key: curKey, Value: val, Line: curLine})
+		curKey, curVal = "", nil
+	}
+
+	for r.scan.Scan() {
+		r.line++
+		raw := r.scan.Text()
+		line := strings.TrimRight(raw, " \t\r")
+
+		// Blank line: end of object (if one is in progress).
+		if strings.TrimSpace(line) == "" {
+			if obj != nil {
+				flushAttr()
+				if finishObject(obj) {
+					return obj
+				}
+				r.addDiag(obj.Line, "object with no attributes skipped")
+				obj = nil
+			}
+			continue
+		}
+
+		// File-level comment lines.
+		if line[0] == '%' || line[0] == '#' {
+			continue
+		}
+
+		// Continuation line: starts with space, tab, or '+'.
+		if line[0] == ' ' || line[0] == '\t' || line[0] == '+' {
+			cont := line
+			if cont[0] == '+' {
+				cont = cont[1:]
+			}
+			cont = strings.TrimSpace(StripComment(cont))
+			if curKey == "" {
+				r.addDiag(r.line, "continuation line with no preceding attribute: %q", truncate(line, 40))
+				continue
+			}
+			if cont != "" {
+				curVal = append(curVal, cont)
+			}
+			continue
+		}
+
+		// Attribute line: "key: value".
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 || !validKey(line[:colon]) {
+			r.addDiag(r.line, "out-of-place text skipped: %q", truncate(line, 40))
+			continue
+		}
+		flushAttr()
+		curKey = strings.ToLower(strings.TrimSpace(line[:colon]))
+		curLine = r.line
+		v := strings.TrimSpace(StripComment(line[colon+1:]))
+		if v != "" {
+			curVal = append(curVal, v)
+		}
+
+		if obj == nil {
+			obj = &Object{
+				Class:  curKey,
+				Source: r.source,
+				Line:   r.line,
+			}
+		}
+	}
+	if r.err == nil {
+		r.err = r.scan.Err()
+	}
+	if obj != nil {
+		flushAttr()
+		if finishObject(obj) {
+			return obj
+		}
+		r.addDiag(obj.Line, "object with no attributes skipped")
+	}
+	return nil
+}
+
+// ReadAll drains the reader and returns every object.
+func (r *Reader) ReadAll() []*Object {
+	var out []*Object
+	for o := r.Next(); o != nil; o = r.Next() {
+		out = append(out, o)
+	}
+	return out
+}
+
+// ParseObjects is a convenience wrapper that reads all objects from a
+// string (used heavily by tests and examples).
+func ParseObjects(text, source string) ([]*Object, []Diagnostic) {
+	r := NewReader(strings.NewReader(text), source)
+	objs := r.ReadAll()
+	return objs, r.Diagnostics()
+}
+
+func finishObject(o *Object) bool {
+	if len(o.Attrs) == 0 {
+		return false
+	}
+	o.Class = o.Attrs[0].Key
+	o.Name = strings.ToUpper(strings.Join(strings.Fields(o.Attrs[0].Value), " "))
+	return true
+}
+
+// validKey checks an attribute key: letters, digits, '-', '_' only.
+// RPSL attribute names never contain spaces; rejecting other shapes is
+// how out-of-place text (e.g. a stray sentence with a colon) gets caught.
+func validKey(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '*':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

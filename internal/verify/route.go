@@ -1,0 +1,302 @@
+package verify
+
+import (
+	"runtime"
+	"sync"
+
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+)
+
+// RouteReport is the verification result for one BGP route: two checks
+// (export and import) per adjacent AS pair, ordered from the origin
+// side like the paper's Appendix C printout.
+type RouteReport struct {
+	Route  bgpsim.Route `json:"-"`
+	Checks []Check      `json:"checks"`
+	// Ignored is non-empty when the route was excluded from
+	// verification ("as-set" for paths with BGP AS-sets, "single-as"
+	// for collector-peer originations).
+	Ignored string `json:"ignored,omitempty"`
+}
+
+// VerifyRoute verifies one route. Prepended ASes are removed first;
+// single-AS routes and AS-set routes are ignored, as in the paper
+// (0.06% and 0.03% of routes respectively).
+func (v *Verifier) VerifyRoute(route bgpsim.Route) RouteReport {
+	if v.cfg.EnableRouteCache {
+		key := routeCacheKey(route)
+		if cached, ok := v.routeCache.Load(key); ok {
+			v.cacheHits.Add(1)
+			rep := cached.(RouteReport)
+			rep.Route = route
+			return rep
+		}
+		rep := v.verifyRouteUncached(route)
+		v.routeCache.Store(key, rep)
+		return rep
+	}
+	return v.verifyRouteUncached(route)
+}
+
+// CacheHits reports route-cache hits since construction.
+func (v *Verifier) CacheHits() int64 { return v.cacheHits.Load() }
+
+// routeCacheKey encodes (prefix, path, as-set flag) compactly.
+func routeCacheKey(route bgpsim.Route) string {
+	var b []byte
+	b = append(b, route.Prefix.String()...)
+	if route.HasASSet {
+		b = append(b, '!')
+	}
+	for _, a := range route.Path {
+		b = append(b, '|', byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	for _, c := range route.Communities {
+		b = append(b, ':', byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return string(b)
+}
+
+func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
+	rep := RouteReport{Route: route}
+	if route.HasASSet {
+		rep.Ignored = "as-set"
+		return rep
+	}
+	path := dedupePrepends(route.Path)
+	if len(path) <= 1 {
+		rep.Ignored = "single-as"
+		return rep
+	}
+	origin := path[len(path)-1]
+	// Walk pairs from the origin side: exporter path[i+1] hands the
+	// route to importer path[i].
+	for i := len(path) - 2; i >= 0; i-- {
+		exporter, importer := path[i+1], path[i]
+		// prevAS: where the exporter got the route from.
+		var prevAS ir.ASN
+		if i+2 < len(path) {
+			prevAS = path[i+2]
+		}
+		// Filters (in particular AS-path regexes) match the AS-path as
+		// it stands at this hop: the path the exporter announces,
+		// starting at the exporter and ending at the origin.
+		hopPath := path[i+1:]
+		expCheck := v.check(&evalCtx{
+			pfx: route.Prefix, path: hopPath, origin: origin,
+			self: exporter, peer: importer, dir: ir.DirExport, prevAS: prevAS,
+			communities: route.Communities,
+		})
+		impCheck := v.check(&evalCtx{
+			pfx: route.Prefix, path: hopPath, origin: origin,
+			self: importer, peer: exporter, dir: ir.DirImport, prevAS: exporter,
+			communities: route.Communities,
+		})
+		rep.Checks = append(rep.Checks, expCheck, impCheck)
+	}
+	return rep
+}
+
+// check runs one import or export check for an AS pair, applying the
+// full classification ladder.
+func (v *Verifier) check(ctx *evalCtx) Check {
+	c := Check{Dir: ctx.dir}
+	if ctx.dir == ir.DirExport {
+		c.From, c.To = ctx.self, ctx.peer
+	} else {
+		c.From, c.To = ctx.peer, ctx.self
+	}
+
+	an, ok := v.DB.AutNum(ctx.self)
+	if !ok {
+		c.Status = Unrecorded
+		c.Reasons = []Reason{{Kind: UnrecordedAutNum, ASN: ctx.self}}
+		return c
+	}
+	rules := an.Imports
+	if ctx.dir == ir.DirExport {
+		rules = an.Exports
+	}
+	if len(rules) == 0 {
+		c.Status = v.safelist(ctx, Unrecorded, &c)
+		if c.Status == Unrecorded {
+			c.Reasons = append(c.Reasons, Reason{Kind: UnrecordedNoRules})
+		}
+		return c
+	}
+
+	best := Unverified
+	var reasons []Reason
+	for i := range rules {
+		st, rs := v.evalRule(&rules[i], ctx)
+		if st < best {
+			best = st
+			if st == Verified {
+				c.Status = Verified
+				return c
+			}
+		}
+		reasons = append(reasons, rs...)
+	}
+	// Safelist checks only improve on Unverified (the ladder places
+	// them after Relaxed).
+	if best == Unverified {
+		best = v.safelist(ctx, best, &c)
+	}
+	c.Status = best
+	if best != Verified && best != Safelisted {
+		c.Reasons = dedupReasons(reasons)
+	} else if best == Safelisted {
+		c.Reasons = append(dedupReasons(reasons), c.Reasons...)
+	}
+	return c
+}
+
+// safelist applies the Section 5.1.2 safelisted-relationship checks in
+// order; it returns Safelisted (appending the matching reason to the
+// check) or the provided fallback status.
+//
+// Note the paper's ladder places Unrecorded before Safelisted; the
+// no-rules unrecorded case therefore stays Unrecorded. Exception: the
+// paper's Appendix C example shows uphill exports with no matching
+// rules still reported with the safelist item, so safelist reasons are
+// also attached when they explain an unrecorded hop — but the status
+// remains governed by the ladder.
+func (v *Verifier) safelist(ctx *evalCtx, fallback Status, c *Check) Status {
+	if fallback != Unverified || v.cfg.Strict {
+		return fallback
+	}
+	// Only Provider Policies: the AS defines rules only for its
+	// providers; safelist imports from customers and peers.
+	if ctx.dir == ir.DirImport && v.onlyProviderPolicies[ctx.self] {
+		rel := v.Rels.Rel(ctx.peer, ctx.self)
+		if rel == asrel.Customer || rel == asrel.Peer {
+			c.Reasons = append(c.Reasons, Reason{Kind: SpecOnlyProviderPolicies})
+			return Safelisted
+		}
+	}
+	// Tier-1 peering.
+	if v.Rels.IsTier1(ctx.self) && v.Rels.IsTier1(ctx.peer) {
+		c.Reasons = append(c.Reasons, Reason{Kind: SpecTier1Pair})
+		return Safelisted
+	}
+	// Uphill customer-provider propagation: the exporter is a customer
+	// of the importer. The origin's own export is deliberately NOT
+	// safelisted (Appendix C reports it as BadExport): the first-hop
+	// export is where filtering is most effective against leaks and
+	// hijacks, so whitewashing it would defeat verification.
+	var exporter, importer ir.ASN
+	if ctx.dir == ir.DirExport {
+		exporter, importer = ctx.self, ctx.peer
+		if exporter == ctx.origin {
+			return fallback
+		}
+	} else {
+		exporter, importer = ctx.peer, ctx.self
+	}
+	if v.Rels.Rel(exporter, importer) == asrel.Customer {
+		c.Reasons = append(c.Reasons, Reason{Kind: SpecUphill})
+		return Safelisted
+	}
+	return fallback
+}
+
+// dedupePrepends removes consecutive duplicate ASes.
+func dedupePrepends(p []ir.ASN) []ir.ASN {
+	out := make([]ir.ASN, 0, len(p))
+	for i, a := range p {
+		if i > 0 && a == p[i-1] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// dedupReasons sorts reasons deterministically and removes duplicates
+// in place (map-free: this runs once per check on the hot path).
+func dedupReasons(rs []Reason) []Reason {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sortReasons(rs)
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		if r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// VerifyAll verifies routes concurrently with the given number of
+// workers (0 means GOMAXPROCS) and returns reports in input order.
+func (v *Verifier) VerifyAll(routes []bgpsim.Route, workers int) []RouteReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(routes) {
+		workers = len(routes)
+	}
+	reports := make([]RouteReport, len(routes))
+	if len(routes) == 0 {
+		return reports
+	}
+	var wg sync.WaitGroup
+	// Shard by contiguous stripes so each worker touches a distinct
+	// cache-friendly region.
+	idx := make(chan int, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = v.VerifyRoute(routes[i])
+			}
+		}()
+	}
+	for i := range routes {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports
+}
+
+// VerifyStream verifies routes concurrently and hands each report to
+// sink as soon as it is ready. Reports arrive in arbitrary order; the
+// sink must be safe for the caller's use (VerifyStream serializes
+// calls to it).
+func (v *Verifier) VerifyStream(routes []bgpsim.Route, workers int, sink func(RouteReport)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	in := make(chan bgpsim.Route, workers*4)
+	out := make(chan RouteReport, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range in {
+				out <- v.VerifyRoute(r)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range out {
+			sink(rep)
+		}
+	}()
+	for _, r := range routes {
+		in <- r
+	}
+	close(in)
+	wg.Wait()
+	close(out)
+	<-done
+}

@@ -1,0 +1,387 @@
+// Package verify implements the paper's core contribution: verifying
+// BGP routes against RPSL policies (Section 5). For every adjacent AS
+// pair <Y, X> on an observed AS-path, where AS Y imports the route AS X
+// exports, it checks X's export rules and Y's import rules against the
+// route's prefix and AS-path, classifying each check as Verified, Skip,
+// Unrecorded, Relaxed, Safelisted, or Unverified — applying the six
+// special-case checks of Section 5.1 in the paper's order.
+package verify
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rpslyzer/internal/asregex"
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+)
+
+// Status is the verification status of one import or export check,
+// ordered by the paper's classification ladder: when multiple rules
+// match differently, the earliest status wins.
+type Status uint8
+
+const (
+	// Verified is a strict match.
+	Verified Status = iota
+	// Skip marks rules RPSLyzer cannot or will not interpret
+	// (community filters; optionally complex regexes).
+	Skip
+	// Unrecorded marks failures caused by information missing from the
+	// IRR: no aut-num, no rules, zero-route filter ASes, unrecorded
+	// sets.
+	Unrecorded
+	// Relaxed marks matches under the relaxed filter semantics of
+	// Section 5.1.1 (export self, import customer, missing routes).
+	Relaxed
+	// Safelisted marks the safelisted relationships of Section 5.1.2
+	// (only provider policies, Tier-1 pairs, uphill propagation).
+	Safelisted
+	// Unverified is a mismatch none of the above explains.
+	Unverified
+)
+
+var statusNames = [...]string{"verified", "skip", "unrecorded", "relaxed", "safelisted", "unverified"}
+
+// String renders the status.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "invalid"
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Status) UnmarshalText(b []byte) error {
+	for i, n := range statusNames {
+		if n == string(b) {
+			*s = Status(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("verify: bad status %q", b)
+}
+
+// ReasonKind enumerates diagnostic report items, named after the
+// paper's Appendix C printout.
+type ReasonKind uint8
+
+const (
+	// MatchRemoteAsNum reports a rule whose peering names a different
+	// remote AS.
+	MatchRemoteAsNum ReasonKind = iota
+	// MatchRemoteAsSet reports a rule whose peering as-set does not
+	// contain the remote AS.
+	MatchRemoteAsSet
+	// MatchFilterAsNum reports a rule whose ASN filter did not cover
+	// the prefix.
+	MatchFilterAsNum
+	// MatchFilter reports a generic filter mismatch.
+	MatchFilter
+	// UnrecordedAutNum: the AS has no aut-num object.
+	UnrecordedAutNum
+	// UnrecordedNoRules: the aut-num has zero rules in this direction.
+	UnrecordedNoRules
+	// UnrecordedZeroRouteAS: a filter references an AS that originates
+	// no route objects.
+	UnrecordedZeroRouteAS
+	// UnrecordedAsSet / UnrecordedRouteSet / UnrecordedFilterSet /
+	// UnrecordedPeeringSet: referenced set objects missing in the IRR.
+	UnrecordedAsSet
+	UnrecordedRouteSet
+	UnrecordedFilterSet
+	UnrecordedPeeringSet
+	// SkipCommunityFilter / SkipUnsupported: rule skipped.
+	SkipCommunityFilter
+	SkipUnsupported
+	// SpecExportSelf / SpecImportCustomer / SpecMissingRoutes: relaxed
+	// filter matches (Section 5.1.1).
+	SpecExportSelf
+	SpecImportCustomer
+	SpecMissingRoutes
+	// SpecOnlyProviderPolicies / SpecTier1Pair / SpecUphill: safelisted
+	// relationships (Section 5.1.2).
+	SpecOnlyProviderPolicies
+	SpecTier1Pair
+	SpecUphill
+)
+
+var reasonNames = [...]string{
+	"MatchRemoteAsNum", "MatchRemoteAsSet", "MatchFilterAsNum", "MatchFilter",
+	"UnrecordedAutNum", "UnrecordedNoRules", "UnrecordedZeroRouteAS",
+	"UnrecordedAsSet", "UnrecordedRouteSet", "UnrecordedFilterSet", "UnrecordedPeeringSet",
+	"SkipCommunityFilter", "SkipUnsupported",
+	"SpecExportSelf", "SpecImportCustomer", "SpecMissingRoutes",
+	"SpecOnlyProviderPolicies", "SpecTier1Pair", "SpecUphill",
+}
+
+// String renders the reason kind.
+func (k ReasonKind) String() string {
+	if int(k) < len(reasonNames) {
+		return reasonNames[k]
+	}
+	return "Invalid"
+}
+
+// Reason is one diagnostic item attached to a check.
+type Reason struct {
+	Kind ReasonKind `json:"kind"`
+	ASN  ir.ASN     `json:"asn,omitempty"`
+	Name string     `json:"name,omitempty"`
+}
+
+// String renders the reason like the paper's Appendix C items, e.g.
+// "MatchRemoteAsNum(58552)" or `UnrecordedAsSet("AS1299:AS-PEERS")`.
+func (r Reason) String() string {
+	switch {
+	case r.Name != "":
+		return fmt.Sprintf("%s(%q)", r.Kind, r.Name)
+	case r.ASN != 0 || r.Kind == MatchRemoteAsNum || r.Kind == MatchFilterAsNum || r.Kind == UnrecordedZeroRouteAS:
+		return fmt.Sprintf("%s(%d)", r.Kind, uint32(r.ASN))
+	default:
+		return r.Kind.String()
+	}
+}
+
+// Check is the verification result of one import or export check for
+// one AS pair on one route.
+type Check struct {
+	// From exported the route; To imported it.
+	From ir.ASN `json:"from"`
+	To   ir.ASN `json:"to"`
+	// Dir says whose rule was checked: DirExport checks From's export,
+	// DirImport checks To's import.
+	Dir     ir.Direction `json:"dir"`
+	Status  Status       `json:"status"`
+	Reasons []Reason     `json:"reasons,omitempty"`
+}
+
+// String renders the check in the Appendix C report style:
+// "MehExport { from: 56239, to: 133840, items: [...] }".
+func (c Check) String() string {
+	var class string
+	switch c.Status {
+	case Verified:
+		class = "Ok"
+	case Skip:
+		class = "Skip"
+	case Unrecorded:
+		class = "Unrec"
+	case Relaxed, Safelisted:
+		class = "Meh"
+	case Unverified:
+		class = "Bad"
+	}
+	dir := "Import"
+	if c.Dir == ir.DirExport {
+		dir = "Export"
+	}
+	if len(c.Reasons) == 0 {
+		return fmt.Sprintf("%s%s { from: %d, to: %d }", class, dir, uint32(c.From), uint32(c.To))
+	}
+	items := make([]string, len(c.Reasons))
+	for i, r := range c.Reasons {
+		items[i] = r.String()
+	}
+	return fmt.Sprintf("%s%s { from: %d, to: %d, items: [%s] }",
+		class, dir, uint32(c.From), uint32(c.To), strings.Join(items, ", "))
+}
+
+// Config tunes the verifier.
+type Config struct {
+	// SkipComplexRegex makes the verifier skip rules whose AS-path
+	// regexes use ASN ranges or same-pattern operators, exactly
+	// matching the paper's published behaviour (Appendix B leaves them
+	// as future work). When false (the default), the symbolic engine
+	// interprets them.
+	SkipComplexRegex bool
+	// MaxFilterSetDepth bounds filter-set dereference chains.
+	MaxFilterSetDepth int
+	// EnableRouteCache memoizes whole-route verification results keyed
+	// by (prefix, AS-path). Collector feeds overlap heavily (the
+	// paper's 60 collectors see 779 M routes with far fewer distinct
+	// (prefix, path) pairs), so the cache trades memory for large
+	// speedups on multi-collector runs.
+	EnableRouteCache bool
+	// InterpretCommunities evaluates community(...) filters against
+	// the communities observed on the route instead of skipping the
+	// rule. The paper deliberately skips such rules because
+	// intermediate ASes may strip communities before the collector;
+	// this optional mode exists to quantify that effect.
+	InterpretCommunities bool
+	// Strict disables the Section 5.1 special cases (relaxed filters
+	// and safelisted relationships), applying only the RFC's strict
+	// semantics. The special cases were designed to excuse common
+	// benign misconfigurations — which also means they can whitewash
+	// genuine route leaks (see examples/leakdetect); strict mode is
+	// the filter-generation view of the data.
+	Strict bool
+}
+
+func (c *Config) fill() {
+	if c.MaxFilterSetDepth == 0 {
+		c.MaxFilterSetDepth = 10
+	}
+}
+
+// Verifier verifies routes against a merged IRR database using an AS
+// relationship database for the special cases. It is safe for
+// concurrent use.
+type Verifier struct {
+	DB   *irr.Database
+	Rels *asrel.Database
+	cfg  Config
+
+	// onlyProviderPolicies precomputes the ASes whose rules only name
+	// their providers (Section 5.1.2).
+	onlyProviderPolicies map[ir.ASN]bool
+
+	// regexCache memoizes compiled AS-path regexes.
+	regexMu    sync.RWMutex
+	regexCache map[*ir.PathRegex]*asregex.Regex
+
+	// coneCache memoizes customer cones for the Export Self check.
+	coneMu    sync.RWMutex
+	coneCache map[ir.ASN]map[ir.ASN]bool
+
+	// routeCache memoizes whole-route reports when
+	// Config.EnableRouteCache is set.
+	routeCache sync.Map // string -> RouteReport
+	// cacheHits counts cache hits (read with CacheHits).
+	cacheHits atomic.Int64
+}
+
+// New creates a Verifier.
+func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
+	cfg.fill()
+	v := &Verifier{
+		DB:         db,
+		Rels:       rels,
+		cfg:        cfg,
+		regexCache: make(map[*ir.PathRegex]*asregex.Regex),
+		coneCache:  make(map[ir.ASN]map[ir.ASN]bool),
+	}
+	v.precomputeOnlyProviderPolicies()
+	return v
+}
+
+// precomputeOnlyProviderPolicies finds ASes all of whose rule peerings
+// are single AS numbers that are providers of the AS.
+func (v *Verifier) precomputeOnlyProviderPolicies() {
+	v.onlyProviderPolicies = make(map[ir.ASN]bool)
+	for asn, an := range v.DB.IR.AutNums {
+		if an.RuleCount() == 0 {
+			continue
+		}
+		providers := v.Rels.Providers(asn)
+		isProvider := func(a ir.ASN) bool {
+			for _, p := range providers {
+				if p == a {
+					return true
+				}
+			}
+			return false
+		}
+		ok := true
+		sawPeering := false
+		forEachPeering(an, func(p *ir.Peering) {
+			sawPeering = true
+			if p.ASExpr == nil || p.ASExpr.Kind != ir.ASExprNum || !isProvider(p.ASExpr.ASN) {
+				ok = false
+			}
+		})
+		if ok && sawPeering {
+			v.onlyProviderPolicies[asn] = true
+		}
+	}
+}
+
+// forEachPeering visits every peering in every rule of an aut-num.
+func forEachPeering(an *ir.AutNum, visit func(*ir.Peering)) {
+	var walkExpr func(*ir.PolicyExpr)
+	walkExpr = func(e *ir.PolicyExpr) {
+		if e == nil {
+			return
+		}
+		for i := range e.Factors {
+			for j := range e.Factors[i].Peerings {
+				visit(&e.Factors[i].Peerings[j].Peering)
+			}
+		}
+		walkExpr(e.Left)
+		walkExpr(e.Right)
+	}
+	for i := range an.Imports {
+		walkExpr(an.Imports[i].Expr)
+	}
+	for i := range an.Exports {
+		walkExpr(an.Exports[i].Expr)
+	}
+}
+
+// OnlyProviderPolicies reports whether the AS only defines rules for
+// its providers.
+func (v *Verifier) OnlyProviderPolicies(asn ir.ASN) bool {
+	return v.onlyProviderPolicies[asn]
+}
+
+// compiledRegex returns (and caches) the compiled form of a path
+// regex, or nil when it cannot be compiled.
+func (v *Verifier) compiledRegex(r *ir.PathRegex) *asregex.Regex {
+	v.regexMu.RLock()
+	re, ok := v.regexCache[r]
+	v.regexMu.RUnlock()
+	if ok {
+		return re
+	}
+	re, err := asregex.Compile(r)
+	if err != nil {
+		re = nil
+	}
+	v.regexMu.Lock()
+	v.regexCache[r] = re
+	v.regexMu.Unlock()
+	return re
+}
+
+// customerCone returns (and caches) the customer cone of an AS.
+func (v *Verifier) customerCone(asn ir.ASN) map[ir.ASN]bool {
+	v.coneMu.RLock()
+	cone, ok := v.coneCache[asn]
+	v.coneMu.RUnlock()
+	if ok {
+		return cone
+	}
+	cone = v.Rels.CustomerCone(asn)
+	v.coneMu.Lock()
+	v.coneCache[asn] = cone
+	v.coneMu.Unlock()
+	return cone
+}
+
+// sortReasons orders reasons deterministically for stable output. It
+// uses slices.SortFunc (no reflection) because it sits on the
+// verification hot path.
+func sortReasons(rs []Reason) {
+	slices.SortFunc(rs, compareReason)
+}
+
+func compareReason(a, b Reason) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.ASN != b.ASN {
+		if a.ASN < b.ASN {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.Name, b.Name)
+}

@@ -1,0 +1,82 @@
+package whois
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpslyzer/internal/ir"
+)
+
+// queryIRRd answers irrd-protocol short commands. Responses follow the
+// irrd framing: "A<len>\n<data>\nC\n" on success, "D\n" for no data,
+// "F <msg>\n" for errors.
+func (s *Server) queryIRRd(q string) string {
+	switch {
+	case strings.HasPrefix(q, "!g"), strings.HasPrefix(q, "!6"):
+		wantV6 := strings.HasPrefix(q, "!6")
+		asn, err := ir.ParseASN(strings.TrimSpace(q[2:]))
+		if err != nil {
+			return "F bad AS number\n"
+		}
+		tbl, ok := s.DB.RouteTable(asn)
+		if !ok {
+			return "D\n"
+		}
+		var prefixes []string
+		for _, e := range tbl.Entries() {
+			if e.Prefix.IsIPv6() == wantV6 {
+				prefixes = append(prefixes, e.Prefix.String())
+			}
+		}
+		if len(prefixes) == 0 {
+			return "D\n"
+		}
+		return frameIRRd(strings.Join(prefixes, " "))
+	case strings.HasPrefix(q, "!i"):
+		arg := strings.TrimSpace(q[2:])
+		recursive := false
+		if name, found := strings.CutSuffix(arg, ",1"); found {
+			recursive = true
+			arg = name
+		}
+		name := strings.ToUpper(arg)
+		if recursive {
+			flat, ok := s.DB.AsSet(name)
+			if !ok {
+				return "D\n"
+			}
+			members := make([]string, 0, len(flat.ASNs))
+			for asn := range flat.ASNs {
+				members = append(members, asn.String())
+			}
+			sort.Strings(members)
+			if len(members) == 0 {
+				return "D\n"
+			}
+			return frameIRRd(strings.Join(members, " "))
+		}
+		set, ok := s.DB.IR.AsSets[name]
+		if !ok {
+			return "D\n"
+		}
+		var members []string
+		for _, a := range set.MemberASNs {
+			members = append(members, a.String())
+		}
+		members = append(members, set.MemberSets...)
+		sort.Strings(members)
+		if len(members) == 0 {
+			return "D\n"
+		}
+		return frameIRRd(strings.Join(members, " "))
+	case q == "!!":
+		return "A0\n\nC\n" // persistent-connection handshake; accepted, unused
+	}
+	return "F unrecognized command\n"
+}
+
+// frameIRRd wraps data in the irrd success framing.
+func frameIRRd(data string) string {
+	return fmt.Sprintf("A%d\n%s\nC\n", len(data), data)
+}
