@@ -7,6 +7,7 @@
 package rpslyzer
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -183,6 +184,40 @@ func BenchmarkFigure6Special(b *testing.B) {
 		if f.agg.Figure6().ASesWithSpecial == 0 {
 			b.Fatal("empty figure 6")
 		}
+	}
+}
+
+// BenchmarkLoadDumpDir measures the full file-based ingestion pipeline
+// (split → parse workers → priority merge) against the sequential
+// loader over the benchmark universe's 13 dumps, at several pool
+// sizes. The ISSUE contract is ≥ 2× at 8 workers vs sequential.
+func BenchmarkLoadDumpDir(b *testing.B) {
+	f := getFixture(b)
+	dir := b.TempDir()
+	if err := core.WriteUniverse(f.sys, nil, dir); err != nil {
+		b.Fatal(err)
+	}
+	var totalBytes int64
+	for _, name := range irrgen.IRRs {
+		totalBytes += int64(len(f.sys.Universe.DumpText(name)))
+	}
+	run := func(b *testing.B, opts core.LoadOptions) {
+		b.SetBytes(totalBytes)
+		for i := 0; i < b.N; i++ {
+			x, _, err := core.LoadDumpDirOpts(dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(x.AutNums) != len(f.sys.IR.AutNums) {
+				b.Fatalf("lost objects: %d vs %d", len(x.AutNums), len(f.sys.IR.AutNums))
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, core.LoadOptions{Sequential: true}) })
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			run(b, core.LoadOptions{Workers: workers})
+		})
 	}
 }
 

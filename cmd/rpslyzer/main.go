@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/parser"
 	"rpslyzer/internal/render"
 	"rpslyzer/internal/stats"
 )
@@ -32,12 +34,21 @@ func main() {
 		out       = flag.String("o", "", "write IR JSON to this file ('-' for stdout)")
 		renderDir = flag.String("render", "", "re-emit the parsed IR as canonical RPSL dumps into this directory")
 		summary   = flag.Bool("summary", true, "print a parse summary")
+		workers   = flag.Int("workers", 0, "parse workers (0 = one per CPU, 1 = single worker)")
 	)
 	flag.Parse()
 
+	loadStats := &parser.LoadStats{}
 	start := time.Now()
-	x, sizes, err := core.LoadDumpDir(*dumps)
+	x, sizes, err := core.LoadDumpDirOpts(*dumps, core.LoadOptions{
+		Workers: *workers,
+		Stats:   loadStats,
+	})
 	if err != nil {
+		if errors.Is(err, core.ErrNoDumps) {
+			log.Fatalf("%v\n(use -dumps to point at a directory of IRR dumps; "+
+				"cmd/irrgen or core.WriteUniverse can generate one)", err)
+		}
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -47,12 +58,17 @@ func main() {
 		for _, sz := range sizes {
 			totalBytes += sz
 		}
-		routes := 0
-		for _, classes := range x.Counts {
-			routes += classes["route"] + classes["route6"]
-		}
 		fmt.Printf("parsed %.1f MiB across %d IRRs in %v\n",
 			float64(totalBytes)/(1<<20), len(sizes), elapsed.Round(time.Millisecond))
+		bytesRead, objects, chunks, parseErrs := loadStats.Snapshot()
+		fmt.Println(stats.Throughput{
+			Bytes:   bytesRead,
+			Objects: objects,
+			Chunks:  chunks,
+			Errors:  parseErrs,
+			Elapsed: elapsed,
+			Workers: parser.DefaultWorkers(*workers),
+		})
 		fmt.Printf("aut-nums: %d  as-sets: %d  route-sets: %d  peering-sets: %d  filter-sets: %d  route objects: %d\n",
 			len(x.AutNums), len(x.AsSets), len(x.RouteSets), len(x.PeeringSets), len(x.FilterSets), len(x.Routes))
 		census := stats.ErrorCensus(x)

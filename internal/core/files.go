@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -54,10 +55,22 @@ func WriteUniverse(sys *System, routes []bgpsim.Route, dir string) error {
 	return nil
 }
 
+// ErrNoDumps reports a dump directory without a single *.db file.
+// Tools should treat it as a configuration error (wrong -dumps path)
+// and exit non-zero rather than print an empty summary.
+var ErrNoDumps = errors.New("no *.db dumps")
+
 // LoadDumpDir parses every "*.db" RPSL dump in dir, feeding them in
 // the standard IRR priority order (Table 1); unknown registries come
-// last alphabetically. It returns the IR and per-dump sizes.
+// last alphabetically. It returns the IR and per-dump sizes. Parsing
+// runs through the parallel pipeline with one worker per CPU; use
+// LoadDumpDirOpts to tune it.
 func LoadDumpDir(dir string) (*ir.IR, map[string]int64, error) {
+	return LoadDumpDirOpts(dir, LoadOptions{})
+}
+
+// LoadDumpDirOpts is LoadDumpDir with explicit pipeline options.
+func LoadDumpDirOpts(dir string, opts LoadOptions) (*ir.IR, map[string]int64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -71,7 +84,7 @@ func LoadDumpDir(dir string) (*ir.IR, map[string]int64, error) {
 		found[name] = filepath.Join(dir, e.Name())
 	}
 	if len(found) == 0 {
-		return nil, nil, fmt.Errorf("core: no *.db dumps in %s", dir)
+		return nil, nil, fmt.Errorf("core: %w in %s (expected RPSL dump files named like ripe.db)", ErrNoDumps, dir)
 	}
 	var order []string
 	for _, name := range irrgen.IRRs {
@@ -114,7 +127,7 @@ func LoadDumpDir(dir string) (*ir.IR, map[string]int64, error) {
 		}
 		dumps = append(dumps, Dump{Name: name, R: f})
 	}
-	return ParseDumps(dumps...), sizes, nil
+	return ParseDumpsParallel(opts, dumps...), sizes, nil
 }
 
 // LoadRels reads a CAIDA-format relationship file.

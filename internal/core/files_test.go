@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rpslyzer/internal/verify"
@@ -89,11 +91,36 @@ func TestFilePipelineRoundTrip(t *testing.T) {
 }
 
 func TestLoadDumpDirErrors(t *testing.T) {
-	if _, _, err := LoadDumpDir(t.TempDir()); err == nil {
-		t.Error("empty dir should error")
+	// An empty directory must fail with the ErrNoDumps sentinel and a
+	// message naming the directory, so cmd tools can exit non-zero with
+	// a clear diagnosis instead of printing an empty summary.
+	dir := t.TempDir()
+	_, _, err := LoadDumpDir(dir)
+	if err == nil {
+		t.Fatal("empty dir should error")
 	}
+	if !errors.Is(err, ErrNoDumps) {
+		t.Errorf("err = %v, want ErrNoDumps", err)
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Errorf("err %q should name the directory", err)
+	}
+
+	// A directory with files but no *.db dumps is the same failure.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.db"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDumpDir(dir); !errors.Is(err, ErrNoDumps) {
+		t.Errorf("non-dump dir: err = %v, want ErrNoDumps", err)
+	}
+
 	if _, _, err := LoadDumpDir("/nonexistent-path-xyz"); err == nil {
 		t.Error("missing dir should error")
+	} else if errors.Is(err, ErrNoDumps) {
+		t.Error("missing dir should fail with an I/O error, not ErrNoDumps")
 	}
 }
 

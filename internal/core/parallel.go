@@ -1,0 +1,182 @@
+package core
+
+import (
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/parser"
+)
+
+// LoadOptions tunes the parallel ingestion pipeline.
+type LoadOptions struct {
+	// Workers sizes the parse pool; <= 0 means one worker per CPU.
+	Workers int
+	// ChunkSize is the splitter's target chunk payload in bytes; <= 0
+	// keeps the default.
+	ChunkSize int
+	// Stats, when non-nil, receives progress counters as the pipeline
+	// runs (bytes, objects, chunks, parse errors, per-worker tallies).
+	Stats *parser.LoadStats
+	// Sequential bypasses the pipeline and parses on the calling
+	// goroutine — the reference path the golden round-trip test and the
+	// load benchmarks compare against.
+	Sequential bool
+}
+
+// ParseDumpsParallel parses IRR dumps through the streaming pipeline:
+// each dump is split into chunks of whole RPSL objects, a worker pool
+// parses chunks concurrently, and a merge stage reassembles the chunk
+// IRs in feed order. The result is deeply equal to ParseDumps over the
+// same dumps: IRR priority order, first-definition-wins duplicate
+// resolution, route ordering, and error ordering are all preserved.
+func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
+	if opts.Sequential {
+		return ParseDumps(dumps...)
+	}
+	workers := parser.DefaultWorkers(opts.Workers)
+
+	// Producer: split dumps in priority order into globally sequenced
+	// chunks. The channel bound keeps in-flight raw text proportional to
+	// the pool size, not the dump size.
+	chunks := make(chan parser.SeqChunk, 2*workers)
+	go func() {
+		defer close(chunks)
+		seq := 0
+		for i, d := range dumps {
+			sp := parser.NewSplitter(d.R, d.Name, i, opts.ChunkSize)
+			for c, ok := sp.Next(); ok; c, ok = sp.Next() {
+				chunks <- parser.SeqChunk{Chunk: c, Seq: seq}
+				seq++
+			}
+		}
+	}()
+
+	results := parser.ParseChunks(chunks, workers, opts.Stats)
+
+	// Merge: apply chunk results strictly in sequence order. Results
+	// arrive in completion order, so out-of-order ones wait in a reorder
+	// buffer; its size is bounded by the number of in-flight chunks
+	// (pool size plus channel capacity).
+	m := newMerger()
+	pending := make(map[int]parser.ChunkResult)
+	next := 0
+	for res := range results {
+		pending[res.Seq] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			m.apply(r)
+			next++
+		}
+	}
+	return m.finish()
+}
+
+// merger reassembles chunk IRs into one IR with the exact semantics of
+// the sequential Builder: first definition wins across the whole feed,
+// route objects deduplicate on (prefix, origin, source) globally, and
+// each dump's reader diagnostics land after all of that dump's parse
+// errors.
+type merger struct {
+	out        *ir.IR
+	seenRoutes map[mergeRouteKey]bool
+	curDump    int
+	diags      []ir.ParseError
+}
+
+type mergeRouteKey struct {
+	prefix string
+	origin ir.ASN
+	source string
+}
+
+func newMerger() *merger {
+	return &merger{
+		out:        ir.New(),
+		seenRoutes: make(map[mergeRouteKey]bool),
+		curDump:    -1,
+	}
+}
+
+func (m *merger) apply(res parser.ChunkResult) {
+	if res.DumpIndex != m.curDump {
+		m.flushDiags()
+		m.curDump = res.DumpIndex
+	}
+	x := res.IR
+	// First-definition-wins classes. Within a chunk the Builder already
+	// resolved duplicates, so each chunk map holds at most one
+	// definition per key and insertion order within the map does not
+	// matter; across chunks, sequence order decides.
+	for asn, an := range x.AutNums {
+		if _, dup := m.out.AutNums[asn]; !dup {
+			m.out.AutNums[asn] = an
+		}
+	}
+	for name, s := range x.AsSets {
+		if _, dup := m.out.AsSets[name]; !dup {
+			m.out.AsSets[name] = s
+		}
+	}
+	for name, s := range x.RouteSets {
+		if _, dup := m.out.RouteSets[name]; !dup {
+			m.out.RouteSets[name] = s
+		}
+	}
+	for name, s := range x.PeeringSets {
+		if _, dup := m.out.PeeringSets[name]; !dup {
+			m.out.PeeringSets[name] = s
+		}
+	}
+	for name, s := range x.FilterSets {
+		if _, dup := m.out.FilterSets[name]; !dup {
+			m.out.FilterSets[name] = s
+		}
+	}
+	for name, s := range x.InetRtrs {
+		if _, dup := m.out.InetRtrs[name]; !dup {
+			m.out.InetRtrs[name] = s
+		}
+	}
+	for name, s := range x.RtrSets {
+		if _, dup := m.out.RtrSets[name]; !dup {
+			m.out.RtrSets[name] = s
+		}
+	}
+	// Route objects keep every (prefix, origin, source) tuple once, in
+	// feed order.
+	for _, r := range x.Routes {
+		key := mergeRouteKey{r.Prefix.String(), r.Origin, r.Source}
+		if m.seenRoutes[key] {
+			continue
+		}
+		m.seenRoutes[key] = true
+		m.out.Routes = append(m.out.Routes, r)
+	}
+	m.out.Errors = append(m.out.Errors, x.Errors...)
+	m.diags = append(m.diags, res.Diags...)
+	for src, classes := range x.Counts {
+		dst := m.out.Counts[src]
+		if dst == nil {
+			dst = make(map[string]int, len(classes))
+			m.out.Counts[src] = dst
+		}
+		for class, n := range classes {
+			dst[class] += n
+		}
+	}
+}
+
+// flushDiags appends the finished dump's reader diagnostics, matching
+// the sequential Builder.AddDump order (objects first, then
+// diagnostics, per dump).
+func (m *merger) flushDiags() {
+	m.out.Errors = append(m.out.Errors, m.diags...)
+	m.diags = nil
+}
+
+func (m *merger) finish() *ir.IR {
+	m.flushDiags()
+	return m.out
+}

@@ -1,10 +1,55 @@
 package parser
 
 import (
+	"reflect"
 	"testing"
 
 	"rpslyzer/internal/ir"
 )
+
+// FuzzSplitDump differentially fuzzes the streaming splitter: for any
+// dump text and any chunk size, parsing the chunks must produce the
+// exact IR of a sequential whole-dump parse. The seeds are the shapes
+// the splitter must not mangle: truncated objects, CRLF line endings,
+// attribute continuation lines, and a final object missing its
+// trailing blank line.
+func FuzzSplitDump(f *testing.F) {
+	seeds := []string{
+		// Truncated objects: attribute cut mid-line, value-less key,
+		// object reduced to a lone class line.
+		"aut-num: AS1\nas-na",
+		"aut-num: AS2\nas-name\n\nroute:",
+		"as-set: AS-TRUNC\n",
+		// CRLF line endings throughout, including a blank CRLF line.
+		"aut-num: AS1\r\nas-name: ONE\r\n\r\naut-num: AS2\r\n",
+		// Attribute continuation lines: leading space, tab, and '+'.
+		"as-set: AS-C\nmembers: AS1,\n AS2,\n\tAS3,\n+AS4\n\naut-num: AS5\n",
+		// Final object missing its trailing blank line.
+		"aut-num: AS1\n\naut-num: AS2\nas-name: LAST",
+		// Whitespace-only separator lines and stray continuations.
+		"aut-num: AS1\n \t\r\naut-num: AS2\n",
+		" dangling\n\naut-num: AS3\n",
+		// Comments interleaved with objects.
+		"% header\naut-num: AS1\n# comment\nas-name: X\n\n% trailer\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s, 16)
+	}
+	f.Fuzz(func(t *testing.T, text string, chunkSize int) {
+		if len(text) > 1<<16 {
+			return
+		}
+		if chunkSize <= 0 || chunkSize > len(text)+1 {
+			chunkSize = 16
+		}
+		want := parseSeq(text)
+		got := parseChunked(t, text, chunkSize)
+		if !reflect.DeepEqual(want.IR, got.IR) {
+			t.Fatalf("chunked parse diverges from sequential for %q (chunk size %d)", text, chunkSize)
+		}
+	})
+}
 
 // FuzzParseRule asserts the rule parser never panics and that accepted
 // rules have a well-formed policy tree.

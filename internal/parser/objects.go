@@ -71,13 +71,19 @@ func (b *Builder) AddDump(r *rpsl.Reader) {
 	for obj := r.Next(); obj != nil; obj = r.Next() {
 		b.AddObject(obj)
 	}
-	for _, d := range r.Diagnostics() {
-		b.IR.Errors = append(b.IR.Errors, ir.ParseError{
-			Source: d.Source,
-			Kind:   "syntax",
-			Msg:    d.Msg,
-		})
+	b.IR.Errors = append(b.IR.Errors, diagErrors(r.Diagnostics())...)
+}
+
+// diagErrors converts reader diagnostics into IR parse errors.
+func diagErrors(diags []rpsl.Diagnostic) []ir.ParseError {
+	if len(diags) == 0 {
+		return nil
 	}
+	out := make([]ir.ParseError, len(diags))
+	for i, d := range diags {
+		out[i] = ir.ParseError{Source: d.Source, Kind: "syntax", Msg: d.Msg}
+	}
+	return out
 }
 
 func (b *Builder) addAutNum(obj *rpsl.Object) {

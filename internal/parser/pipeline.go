@@ -1,0 +1,167 @@
+package parser
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/rpsl"
+)
+
+// SeqChunk tags a Chunk with its global sequence number so the merge
+// stage can restore feed order after parallel parsing.
+type SeqChunk struct {
+	Chunk
+	Seq int
+}
+
+// ChunkResult is the parse of one chunk: a chunk-local partial IR plus
+// the reader diagnostics kept separate, because the sequential path
+// appends diagnostics after all of a dump's objects and the merge stage
+// must reproduce that order exactly.
+type ChunkResult struct {
+	Seq       int
+	Source    string
+	DumpIndex int
+	// IR holds the chunk's objects with chunk-local duplicate
+	// resolution applied; IR.Errors holds the parse errors in encounter
+	// order.
+	IR *ir.IR
+	// Diags holds the chunk's reader diagnostics, already converted to
+	// parse errors.
+	Diags []ir.ParseError
+	// Objects and Bytes size the chunk for throughput accounting.
+	Objects int
+	Bytes   int
+	// Worker identifies which pool worker parsed the chunk.
+	Worker int
+}
+
+// WorkerSnapshot is one worker's counters at snapshot time.
+type WorkerSnapshot struct {
+	Chunks  int64
+	Objects int64
+	Errors  int64
+}
+
+// LoadStats collects pipeline progress counters. All fields are updated
+// atomically; a LoadStats may be read (via Snapshot/PerWorker) while the
+// pipeline runs.
+type LoadStats struct {
+	bytes   atomic.Int64
+	objects atomic.Int64
+	chunks  atomic.Int64
+	errors  atomic.Int64
+
+	mu      sync.Mutex
+	workers []*workerCounters
+}
+
+type workerCounters struct {
+	chunks  atomic.Int64
+	objects atomic.Int64
+	errors  atomic.Int64
+}
+
+// Snapshot returns the total bytes, objects, chunks, and parse errors
+// processed so far.
+func (s *LoadStats) Snapshot() (bytes, objects, chunks, errors int64) {
+	return s.bytes.Load(), s.objects.Load(), s.chunks.Load(), s.errors.Load()
+}
+
+// PerWorker returns each worker's counters, indexed by worker id.
+func (s *LoadStats) PerWorker() []WorkerSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerSnapshot, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = WorkerSnapshot{
+			Chunks:  w.chunks.Load(),
+			Objects: w.objects.Load(),
+			Errors:  w.errors.Load(),
+		}
+	}
+	return out
+}
+
+func (s *LoadStats) worker(id int) *workerCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.workers) <= id {
+		s.workers = append(s.workers, &workerCounters{})
+	}
+	return s.workers[id]
+}
+
+func (s *LoadStats) record(res *ChunkResult) {
+	s.bytes.Add(int64(res.Bytes))
+	s.objects.Add(int64(res.Objects))
+	s.chunks.Add(1)
+	nerr := int64(len(res.IR.Errors) + len(res.Diags))
+	s.errors.Add(nerr)
+	w := s.worker(res.Worker)
+	w.chunks.Add(1)
+	w.objects.Add(int64(res.Objects))
+	w.errors.Add(nerr)
+}
+
+// DefaultWorkers resolves a worker-count setting: values <= 0 mean one
+// worker per CPU.
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ParseChunk parses one chunk into a chunk-local partial IR.
+func ParseChunk(c Chunk, seq, worker int) ChunkResult {
+	b := NewBuilder()
+	r := rpsl.NewReaderAt(bytes.NewReader(c.Text), c.Source, c.FirstLine)
+	objects := 0
+	for obj := r.Next(); obj != nil; obj = r.Next() {
+		b.AddObject(obj)
+		objects++
+	}
+	return ChunkResult{
+		Seq:       seq,
+		Source:    c.Source,
+		DumpIndex: c.DumpIndex,
+		IR:        b.IR,
+		Diags:     diagErrors(r.Diagnostics()),
+		Objects:   objects,
+		Bytes:     len(c.Text),
+		Worker:    worker,
+	}
+}
+
+// ParseChunks runs a pool of workers (sized by DefaultWorkers) over the
+// chunk stream and emits one ChunkResult per chunk, in completion order
+// — callers needing feed order reorder by Seq. The result channel
+// closes after the last chunk; stats, when non-nil, is updated as each
+// chunk completes.
+func ParseChunks(in <-chan SeqChunk, workers int, stats *LoadStats) <-chan ChunkResult {
+	workers = DefaultWorkers(workers)
+	out := make(chan ChunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for sc := range in {
+				res := ParseChunk(sc.Chunk, sc.Seq, worker)
+				if stats != nil {
+					stats.record(&res)
+				}
+				out <- res
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,173 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/rpsl"
+)
+
+// splitAll drains a splitter over text with the given chunk target.
+func splitAll(t *testing.T, text string, target int) []Chunk {
+	t.Helper()
+	sp := NewSplitter(strings.NewReader(text), "T", 0, target)
+	var chunks []Chunk
+	for c, ok := sp.Next(); ok; c, ok = sp.Next() {
+		chunks = append(chunks, c)
+	}
+	if err := sp.Err(); err != nil {
+		t.Fatalf("splitter error: %v", err)
+	}
+	return chunks
+}
+
+// parseVia parses text sequentially (reference) or through the chunk
+// pipeline and returns the resulting IR.
+func parseSeq(text string) *Builder {
+	b := NewBuilder()
+	b.AddDump(rpsl.NewReader(strings.NewReader(text), "T"))
+	return b
+}
+
+func parseChunked(t *testing.T, text string, target int) *Builder {
+	t.Helper()
+	b := NewBuilder()
+	var diags []rpsl.Diagnostic
+	for _, c := range splitAll(t, text, target) {
+		r := rpsl.NewReaderAt(strings.NewReader(string(c.Text)), c.Source, c.FirstLine)
+		for obj := r.Next(); obj != nil; obj = r.Next() {
+			b.AddObject(obj)
+		}
+		diags = append(diags, r.Diagnostics()...)
+	}
+	b.IR.Errors = append(b.IR.Errors, diagErrors(diags)...)
+	return b
+}
+
+// TestSplitterNeverSplitsObjects asserts chunk boundaries fall only on
+// blank lines: reassembling the chunks and parsing each chunk
+// separately both reproduce the sequential parse, across awkward dump
+// shapes and pathologically small chunk targets.
+func TestSplitterNeverSplitsObjects(t *testing.T) {
+	cases := map[string]string{
+		"plain": "aut-num: AS1\nas-name: ONE\n\naut-num: AS2\n\nas-set: AS-X\nmembers: AS1, AS2\n",
+		"no-trailing-blank-line": "aut-num: AS1\n\naut-num: AS2\nas-name: TWO",
+		"crlf":                   "aut-num: AS1\r\nas-name: ONE\r\n\r\naut-num: AS2\r\n",
+		"continuation-lines":     "as-set: AS-Y\nmembers: AS1,\n AS2,\n+AS3\n\naut-num: AS4\n",
+		"blank-with-whitespace":  "aut-num: AS1\n \t\naut-num: AS2\n",
+		"comment-runs":           "% header\n% more header\n\naut-num: AS1\n# inline comment line\nas-name: ONE\n\n% trailer\n",
+		"truncated-object":       "aut-num: AS1\nas-name\n\nroute: not-a-prefix\norigin: AS1\n\naut-num: AS2\n",
+		"stray-continuation":     "\n  dangling continuation\n\naut-num: AS3\n",
+		"many-blank-lines":       "\n\n\naut-num: AS1\n\n\n\naut-num: AS2\n\n\n",
+		"empty":                  "",
+		"only-comments":          "% nothing\n% here\n",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := parseSeq(text)
+			for _, target := range []int{1, 7, 64, 1 << 20} {
+				// Chunks must concatenate back to the normalized text.
+				var rejoined strings.Builder
+				for _, c := range splitAll(t, text, target) {
+					rejoined.Write(c.Text)
+				}
+				norm := strings.ReplaceAll(text, "\r\n", "\n")
+				if norm != "" && !strings.HasSuffix(norm, "\n") {
+					norm += "\n"
+				}
+				if rejoined.String() != norm {
+					t.Fatalf("target=%d: chunks do not reassemble input:\n%q\nvs\n%q",
+						target, rejoined.String(), norm)
+				}
+				got := parseChunked(t, text, target)
+				if !reflect.DeepEqual(want.IR, got.IR) {
+					t.Fatalf("target=%d: chunked parse diverges from sequential", target)
+				}
+			}
+		})
+	}
+}
+
+// TestSplitterLineNumbers asserts chunk line offsets keep diagnostics
+// at whole-file line numbers.
+func TestSplitterLineNumbers(t *testing.T) {
+	text := "aut-num: AS1\n\naut-num: AS2\n\n  stray text line 5\n\naut-num: AS3\n"
+	var diags []rpsl.Diagnostic
+	for _, c := range splitAll(t, text, 1) {
+		r := rpsl.NewReaderAt(strings.NewReader(string(c.Text)), c.Source, c.FirstLine)
+		for obj := r.Next(); obj != nil; obj = r.Next() {
+		}
+		diags = append(diags, r.Diagnostics()...)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one", diags)
+	}
+	if diags[0].Line != 5 {
+		t.Errorf("diagnostic line = %d, want 5 (whole-file numbering)", diags[0].Line)
+	}
+}
+
+// TestParseChunksPool runs the worker pool over a generated chunk
+// stream and checks every chunk comes back exactly once with stats
+// accounted.
+func TestParseChunksPool(t *testing.T) {
+	var texts []string
+	for i := 0; i < 40; i++ {
+		texts = append(texts, "aut-num: AS"+string(rune('1'+i%9))+"\n\n")
+	}
+	in := make(chan SeqChunk)
+	go func() {
+		defer close(in)
+		for i, text := range texts {
+			in <- SeqChunk{
+				Chunk: Chunk{Source: "T", Text: []byte(text), FirstLine: 1},
+				Seq:   i,
+			}
+		}
+	}()
+	stats := &LoadStats{}
+	seen := make(map[int]bool)
+	totalObjects := 0
+	for res := range ParseChunks(in, 4, stats) {
+		if seen[res.Seq] {
+			t.Fatalf("chunk %d delivered twice", res.Seq)
+		}
+		seen[res.Seq] = true
+		totalObjects += res.Objects
+	}
+	if len(seen) != len(texts) {
+		t.Fatalf("delivered %d chunks, want %d", len(seen), len(texts))
+	}
+	if totalObjects != len(texts) {
+		t.Fatalf("parsed %d objects, want %d", totalObjects, len(texts))
+	}
+	bytes, objects, chunks, errors := stats.Snapshot()
+	if objects != int64(len(texts)) || chunks != int64(len(texts)) || bytes == 0 || errors != 0 {
+		t.Fatalf("stats = bytes:%d objects:%d chunks:%d errors:%d", bytes, objects, chunks, errors)
+	}
+	var workerChunks int64
+	for _, w := range stats.PerWorker() {
+		workerChunks += w.Chunks
+	}
+	if workerChunks != chunks {
+		t.Fatalf("per-worker chunks sum to %d, want %d", workerChunks, chunks)
+	}
+}
+
+// TestParseChunkErrorsStayOrdered asserts a chunk's parse errors keep
+// encounter order and its reader diagnostics are delivered separately.
+func TestParseChunkErrorsStayOrdered(t *testing.T) {
+	text := "route: bad1\norigin: AS1\n\nstray line\n\nroute: bad2\norigin: AS2\n"
+	res := ParseChunk(Chunk{Source: "T", Text: []byte(text), FirstLine: 1}, 0, 0)
+	if len(res.IR.Errors) != 2 {
+		t.Fatalf("parse errors = %v, want 2", res.IR.Errors)
+	}
+	if !strings.Contains(res.IR.Errors[0].Msg, "bad route prefix") ||
+		!strings.Contains(res.IR.Errors[1].Msg, "bad route prefix") {
+		t.Errorf("unexpected parse errors: %v", res.IR.Errors)
+	}
+	if len(res.Diags) != 1 || !strings.Contains(res.Diags[0].Msg, "out-of-place text") {
+		t.Errorf("diags = %v, want one out-of-place text diagnostic", res.Diags)
+	}
+}

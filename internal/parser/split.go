@@ -1,0 +1,116 @@
+package parser
+
+import (
+	"bufio"
+	"io"
+)
+
+// Chunk is a contiguous run of complete RPSL object blocks cut from one
+// dump. A chunk never splits an object: chunk boundaries fall only on
+// blank lines (the object delimiter), so a per-chunk rpsl.Reader parses
+// exactly the objects a whole-file read would produce for that span.
+type Chunk struct {
+	// Source names the IRR the chunk came from.
+	Source string
+	// DumpIndex is the position of the dump in the feed order; the
+	// merge stage uses it to detect dump boundaries.
+	DumpIndex int
+	// Text holds the chunk's lines joined with '\n'. CR/LF line endings
+	// are normalized to '\n' (the rpsl.Reader strips trailing '\r'
+	// either way, so parses are unaffected).
+	Text []byte
+	// FirstLine is the 1-based line number of the chunk's first line
+	// within the dump, so diagnostics keep whole-file line numbers.
+	FirstLine int
+}
+
+// defaultChunkSize is the target chunk payload. Big enough that worker
+// hand-off cost is negligible against parse cost, small enough that a
+// dump fans out across every worker and in-flight memory stays bounded.
+const defaultChunkSize = 256 * 1024
+
+// Splitter streams a dump as a sequence of chunks without ever holding
+// the whole file: it scans line by line, accumulates complete
+// blank-line-delimited object blocks, and emits a chunk once the
+// accumulated text passes the target size.
+type Splitter struct {
+	scan      *bufio.Scanner
+	source    string
+	dumpIndex int
+	target    int
+
+	buf       []byte
+	startLine int // 1-based line number of buf's first line
+	line      int // lines consumed so far
+	atBlank   bool
+	done      bool
+}
+
+// NewSplitter creates a Splitter over one dump. target is the chunk
+// size in bytes; target <= 0 uses the default.
+func NewSplitter(r io.Reader, source string, dumpIndex, target int) *Splitter {
+	if target <= 0 {
+		target = defaultChunkSize
+	}
+	sc := bufio.NewScanner(r)
+	// Match rpsl.Reader's tolerance for enormous folded attribute lines.
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Splitter{scan: sc, source: source, dumpIndex: dumpIndex, target: target, startLine: 1}
+}
+
+// isBlankLine reports whether the rpsl.Reader would treat the line as
+// an object delimiter. It is deliberately conservative (ASCII
+// whitespace only): a false negative merely delays a chunk boundary,
+// while a false positive would split an object in half.
+func isBlankLine(b []byte) bool {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\v', '\f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the next chunk, or ok=false at end of input. The final
+// chunk is emitted even when the dump's last object has no trailing
+// blank line.
+func (s *Splitter) Next() (Chunk, bool) {
+	if s.done {
+		return Chunk{}, false
+	}
+	for s.scan.Scan() {
+		line := s.scan.Bytes()
+		s.line++
+		if len(s.buf) == 0 {
+			s.startLine = s.line
+		}
+		s.buf = append(s.buf, line...)
+		s.buf = append(s.buf, '\n')
+		s.atBlank = isBlankLine(line)
+		if s.atBlank && len(s.buf) >= s.target {
+			return s.emit(), true
+		}
+	}
+	s.done = true
+	if len(s.buf) > 0 {
+		return s.emit(), true
+	}
+	return Chunk{}, false
+}
+
+// Err returns the first underlying I/O error, if any (mirroring
+// bufio.Scanner: a line longer than the buffer cap also lands here).
+func (s *Splitter) Err() error { return s.scan.Err() }
+
+func (s *Splitter) emit() Chunk {
+	c := Chunk{
+		Source:    s.source,
+		DumpIndex: s.dumpIndex,
+		Text:      s.buf,
+		FirstLine: s.startLine,
+	}
+	s.buf = nil
+	return c
+}

@@ -34,11 +34,19 @@ type Reader struct {
 // NewReader creates a Reader over r. source labels objects and
 // diagnostics (typically the IRR name, e.g. "RIPE").
 func NewReader(r io.Reader, source string) *Reader {
+	return NewReaderAt(r, source, 1)
+}
+
+// NewReaderAt creates a Reader whose first line is numbered firstLine
+// instead of 1. The parallel ingestion pipeline hands each worker a
+// chunk of a dump; firstLine keeps object and diagnostic line numbers
+// identical to a whole-file read.
+func NewReaderAt(r io.Reader, source string, firstLine int) *Reader {
 	sc := bufio.NewScanner(r)
 	// IRR dumps contain enormous attribute values (as-sets with tens of
 	// thousands of members on folded lines).
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Reader{scan: sc, source: source}
+	return &Reader{scan: sc, source: source, line: firstLine - 1}
 }
 
 // Diagnostics returns the problems encountered so far.

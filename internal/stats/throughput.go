@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rpslyzer/internal/ir"
+)
+
+// ClassTotals sums the IR's per-source object counts into per-class
+// totals (the summary view of Table 1's columns).
+func ClassTotals(x *ir.IR) map[string]int {
+	totals := make(map[string]int)
+	for _, classes := range x.Counts {
+		for class, n := range classes {
+			totals[class] += n
+		}
+	}
+	return totals
+}
+
+// ClassTotalsOrdered returns class totals sorted by descending count,
+// ties broken alphabetically, for stable summary output.
+func ClassTotalsOrdered(x *ir.IR) []ClassCount {
+	totals := ClassTotals(x)
+	out := make([]ClassCount, 0, len(totals))
+	for class, n := range totals {
+		out = append(out, ClassCount{Class: class, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// ClassCount is one entry of an ordered class census.
+type ClassCount struct {
+	Class string
+	Count int
+}
+
+// Throughput summarizes one ingestion run for the -summary output.
+type Throughput struct {
+	Bytes   int64
+	Objects int64
+	Chunks  int64
+	Errors  int64
+	Elapsed time.Duration
+	Workers int
+}
+
+// String renders the throughput line, guarding against zero elapsed
+// time on tiny inputs.
+func (t Throughput) String() string {
+	sec := t.Elapsed.Seconds()
+	if sec <= 0 {
+		sec = 1e-9
+	}
+	return fmt.Sprintf("pipeline: %.1f MiB/s, %.0f objects/s (%d objects, %d chunks, %d workers, %d parse errors)",
+		float64(t.Bytes)/(1<<20)/sec, float64(t.Objects)/sec,
+		t.Objects, t.Chunks, t.Workers, t.Errors)
+}

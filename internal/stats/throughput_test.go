@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rpslyzer/internal/ir"
+)
+
+func TestClassTotals(t *testing.T) {
+	x := ir.New()
+	x.CountObject("RIPE", "aut-num")
+	x.CountObject("RIPE", "route")
+	x.CountObject("RADB", "route")
+	x.CountObject("RADB", "as-set")
+	totals := ClassTotals(x)
+	if totals["route"] != 2 || totals["aut-num"] != 1 || totals["as-set"] != 1 {
+		t.Errorf("totals = %v", totals)
+	}
+	ordered := ClassTotalsOrdered(x)
+	if len(ordered) != 3 || ordered[0].Class != "route" {
+		t.Errorf("ordered = %v, want route first", ordered)
+	}
+	// Ties break alphabetically.
+	if ordered[1].Class != "as-set" || ordered[2].Class != "aut-num" {
+		t.Errorf("tie order = %v", ordered)
+	}
+}
+
+func TestThroughputString(t *testing.T) {
+	tp := Throughput{
+		Bytes:   2 << 20,
+		Objects: 1000,
+		Chunks:  4,
+		Errors:  3,
+		Elapsed: 2 * time.Second,
+		Workers: 8,
+	}
+	s := tp.String()
+	for _, want := range []string{"1.0 MiB/s", "500 objects/s", "4 chunks", "8 workers", "3 parse errors"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("throughput %q missing %q", s, want)
+		}
+	}
+	// Zero elapsed must not divide by zero.
+	if s := (Throughput{Bytes: 1}).String(); s == "" || strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("zero-elapsed throughput = %q", s)
+	}
+}

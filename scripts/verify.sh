@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Repo verification recipe (the CI gate):
+#
+#   1. build everything
+#   2. vet
+#   3. tier-1 tests
+#   4. the same tests under the race detector — the ingestion pipeline
+#      and the verifier's caches are concurrent, so a green run here is
+#      part of the contract, not an extra
+#
+# Usage: scripts/verify.sh [package-pattern]   (default ./...)
+set -eu
+
+pkgs="${1:-./...}"
+
+echo "== go build $pkgs"
+go build "$pkgs"
+
+echo "== go vet $pkgs"
+go vet "$pkgs"
+
+echo "== go test $pkgs"
+go test "$pkgs"
+
+echo "== go test -race $pkgs"
+go test -race "$pkgs"
+
+echo "verify: OK"
