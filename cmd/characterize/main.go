@@ -12,24 +12,23 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"sort"
 
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/stats"
+	"rpslyzer/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("characterize: ")
 	dumps := flag.String("dumps", "data", "directory with *.db IRR dumps")
 	flag.Parse()
+	telemetry.SetupLogger("characterize", nil)
 
 	x, sizes, err := core.LoadDumpDir(*dumps)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load failed", "err", err)
 	}
 	db := irr.New(x)
 

@@ -15,7 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -31,12 +31,11 @@ import (
 	"rpslyzer/internal/rov"
 	"rpslyzer/internal/stats"
 	"rpslyzer/internal/survey"
+	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/verify"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
 	var (
 		ases       = flag.Int("ases", 2000, "synthetic topology size")
 		collectors = flag.Int("collectors", 20, "number of BGP collectors")
@@ -45,13 +44,15 @@ func main() {
 		only       = flag.String("only", "", "run one experiment: table1,table2,figure1..figure6,section4,appendixE,perf,aspa,recommendations,communities,classify")
 	)
 	flag.Parse()
+	telemetry.SetupLogger("experiments", nil)
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 
 	buildStart := time.Now()
 	sys, err := core.BuildSynthetic(core.Options{Seed: *seed, ASes: *ases, Collectors: *collectors})
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("build failed", "err", err)
 	}
+	sys.Verifier.SetMetrics(verify.NewMetrics(telemetry.Default()))
 	parseTime := time.Since(buildStart)
 
 	routeStart := time.Now()
@@ -312,7 +313,7 @@ func main() {
 			},
 		})
 		if err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("build failed", "err", err)
 		}
 		rroutes := rsys.CollectRoutes(*collectors, *seed)
 		ragg := rsys.VerifyRoutes(rroutes, *workers)
@@ -338,7 +339,7 @@ func main() {
 			Gen: irrgen.Config{CommunityFilterFrac: 0.5},
 		})
 		if err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("build failed", "err", err)
 		}
 		tagged := csys.Sim.CollectRoutes(csys.Sim.DefaultCollectors(4), bgpsim.Options{
 			Seed: *seed, CommunityFrac: 0.5, StripCommunityFrac: 0.3,
@@ -371,6 +372,12 @@ func main() {
 		for st := verify.Verified; st <= verify.Unverified; st++ {
 			fmt.Printf("  %-11s %9d  (%.2f%%)\n", st, agg.Checks[st], 100*fr[st])
 		}
+		fmt.Println()
+	}
+
+	fmt.Println("== Telemetry ==")
+	if err := telemetry.Default().WritePrometheus(os.Stdout); err != nil {
+		telemetry.Fatal("metrics dump failed", "err", err)
 	}
 }
 

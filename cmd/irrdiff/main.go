@@ -11,33 +11,32 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/evolve"
 	"rpslyzer/internal/ir"
+	"rpslyzer/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irrdiff: ")
 	var (
 		oldDir  = flag.String("old", "", "directory with the older *.db dumps")
 		newDir  = flag.String("new", "", "directory with the newer *.db dumps")
 		verbose = flag.Bool("v", false, "list individual changed objects")
 	)
 	flag.Parse()
+	telemetry.SetupLogger("irrdiff", nil)
 	if *oldDir == "" || *newDir == "" {
-		log.Fatal("both -old and -new are required")
+		telemetry.Fatal("both -old and -new are required")
 	}
 
 	oldIR, _, err := core.LoadDumpDir(*oldDir)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load old snapshot failed", "err", err)
 	}
 	newIR, _, err := core.LoadDumpDir(*newDir)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load new snapshot failed", "err", err)
 	}
 
 	d := evolve.Compare(oldIR, newIR)

@@ -10,16 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irrgen: ")
 	var (
 		out        = flag.String("out", "data", "output directory")
 		ases       = flag.Int("ases", 2000, "number of ASes in the topology")
@@ -28,18 +26,19 @@ func main() {
 		writeMRT   = flag.Bool("mrt", false, "also write routes.mrt in MRT TABLE_DUMP_V2 format")
 	)
 	flag.Parse()
+	telemetry.SetupLogger("irrgen", nil)
 
 	sys, err := core.BuildSynthetic(core.Options{Seed: *seed, ASes: *ases})
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("build failed", "err", err)
 	}
 	routes := sys.CollectRoutes(*collectors, *seed)
 	if err := core.WriteUniverse(sys, routes, *out); err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("write universe failed", "err", err)
 	}
 	if *writeMRT {
 		if err := core.WriteRoutesMRT(filepath.Join(*out, "routes.mrt"), routes); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("write MRT failed", "err", err)
 		}
 	}
 	fmt.Fprintf(os.Stdout, "wrote %d IRR dumps, as-rel.txt, and %d routes to %s\n",

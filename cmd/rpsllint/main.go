@@ -12,18 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"sort"
 
 	"rpslyzer/internal/asrel"
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/lint"
+	"rpslyzer/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rpsllint: ")
 	var (
 		dumps    = flag.String("dumps", "data", "directory with *.db IRR dumps")
 		relsPath = flag.String("rels", "", "optional CAIDA-format relationship file (enables misuse checks)")
@@ -31,6 +29,7 @@ func main() {
 		classify = flag.Bool("classify", true, "print the per-AS usage classification summary")
 	)
 	flag.Parse()
+	telemetry.SetupLogger("rpsllint", nil)
 
 	var threshold lint.Severity
 	switch *minSev {
@@ -41,19 +40,19 @@ func main() {
 	case "error":
 		threshold = lint.Error
 	default:
-		log.Fatalf("bad -min %q", *minSev)
+		telemetry.Fatal("bad -min value", "min", *minSev)
 	}
 
 	x, _, err := core.LoadDumpDir(*dumps)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load failed", "err", err)
 	}
 	db := irr.New(x)
 	var rels *asrel.Database
 	if *relsPath != "" {
 		rels, err = core.LoadRels(*relsPath)
 		if err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("load relationships failed", "err", err)
 		}
 	}
 

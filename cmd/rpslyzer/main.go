@@ -8,13 +8,13 @@
 //
 //	rpslyzer -dumps data/ -o ir.json
 //	rpslyzer -dumps data/ -summary
+//	rpslyzer -dumps data/ -metrics-addr 127.0.0.1:9090
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,21 +24,39 @@ import (
 	"rpslyzer/internal/parser"
 	"rpslyzer/internal/render"
 	"rpslyzer/internal/stats"
+	"rpslyzer/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rpslyzer: ")
 	var (
-		dumps     = flag.String("dumps", "data", "directory with *.db IRR dumps")
-		out       = flag.String("o", "", "write IR JSON to this file ('-' for stdout)")
-		renderDir = flag.String("render", "", "re-emit the parsed IR as canonical RPSL dumps into this directory")
-		summary   = flag.Bool("summary", true, "print a parse summary")
-		workers   = flag.Int("workers", 0, "parse workers (0 = one per CPU, 1 = single worker)")
+		dumps       = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		out         = flag.String("o", "", "write IR JSON to this file ('-' for stdout)")
+		renderDir   = flag.String("render", "", "re-emit the parsed IR as canonical RPSL dumps into this directory")
+		summary     = flag.Bool("summary", true, "print a parse summary")
+		workers     = flag.Int("workers", 0, "parse workers (0 = one per CPU, 1 = single worker)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	loadStats := &parser.LoadStats{}
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := telemetry.SetupLogger("rpslyzer", level)
+
+	reg := telemetry.Default()
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)
+		}
+		defer ms.Close()
+		logger.Info("metrics endpoint listening", "addr", ms.Addr().String())
+	}
+
+	loadStats := &parser.LoadStats{Metrics: parser.NewPipelineMetrics(reg)}
 	start := time.Now()
 	x, sizes, err := core.LoadDumpDirOpts(*dumps, core.LoadOptions{
 		Workers: *workers,
@@ -46,10 +64,10 @@ func main() {
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrNoDumps) {
-			log.Fatalf("%v\n(use -dumps to point at a directory of IRR dumps; "+
-				"cmd/irrgen or core.WriteUniverse can generate one)", err)
+			telemetry.Fatal(err.Error(),
+				"hint", "use -dumps to point at a directory of IRR dumps; cmd/irrgen or core.WriteUniverse can generate one")
 		}
-		log.Fatal(err)
+		telemetry.Fatal("load failed", "err", err)
 	}
 	elapsed := time.Since(start)
 
@@ -62,12 +80,13 @@ func main() {
 			float64(totalBytes)/(1<<20), len(sizes), elapsed.Round(time.Millisecond))
 		bytesRead, objects, chunks, parseErrs := loadStats.Snapshot()
 		fmt.Println(stats.Throughput{
-			Bytes:   bytesRead,
-			Objects: objects,
-			Chunks:  chunks,
-			Errors:  parseErrs,
-			Elapsed: elapsed,
-			Workers: parser.DefaultWorkers(*workers),
+			Bytes:        bytesRead,
+			Objects:      objects,
+			Chunks:       chunks,
+			Errors:       parseErrs,
+			Elapsed:      elapsed,
+			Workers:      parser.DefaultWorkers(*workers),
+			SourceErrors: loadStats.PerSourceErrors(),
 		})
 		fmt.Printf("aut-nums: %d  as-sets: %d  route-sets: %d  peering-sets: %d  filter-sets: %d  route objects: %d\n",
 			len(x.AutNums), len(x.AsSets), len(x.RouteSets), len(x.PeeringSets), len(x.FilterSets), len(x.Routes))
@@ -78,7 +97,7 @@ func main() {
 
 	if *renderDir != "" {
 		if err := os.MkdirAll(*renderDir, 0o755); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("render dir", "err", err)
 		}
 		texts := render.IR(x)
 		for src, text := range texts {
@@ -88,7 +107,7 @@ func main() {
 			}
 			path := filepath.Join(*renderDir, name+".db")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-				log.Fatal(err)
+				telemetry.Fatal("render write", "path", path, "err", err)
 			}
 		}
 		fmt.Printf("rendered %d canonical dumps to %s\n", len(texts), *renderDir)
@@ -99,13 +118,13 @@ func main() {
 		if *out != "-" {
 			f, err := os.Create(*out)
 			if err != nil {
-				log.Fatal(err)
+				telemetry.Fatal("create output", "path", *out, "err", err)
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := x.WriteJSON(w); err != nil {
-			log.Fatal(err)
+			telemetry.Fatal("write JSON", "err", err)
 		}
 		if *out != "-" {
 			fmt.Printf("wrote IR to %s\n", *out)

@@ -14,7 +14,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"strings"
@@ -24,6 +23,7 @@ import (
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/report"
+	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/verify"
 )
 
@@ -48,8 +48,6 @@ func jsonReport(rep verify.RouteReport) jsonRouteReport {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("verify: ")
 	var (
 		dumps     = flag.String("dumps", "data", "directory with *.db IRR dumps")
 		relsPath  = flag.String("rels", "data/as-rel.txt", "CAIDA-format AS relationship file")
@@ -62,14 +60,15 @@ func main() {
 		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
 	)
 	flag.Parse()
+	telemetry.SetupLogger("verify", nil)
 
 	x, _, err := core.LoadDumpDir(*dumps)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load dumps failed", "err", err)
 	}
 	rels, err := core.LoadRels(*relsPath)
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load relationships failed", "err", err)
 	}
 	_, verifier := core.BuildFromIR(x, rels, verify.Config{
 		SkipComplexRegex: *paperMode,
@@ -83,7 +82,7 @@ func main() {
 		rts, err = core.LoadRoutes(*routes)
 	}
 	if err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("load routes failed", "err", err)
 	}
 
 	var jsonEnc *json.Encoder
@@ -92,7 +91,7 @@ func main() {
 		if *jsonOut != "-" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
-				log.Fatal(err)
+				telemetry.Fatal("create JSON output failed", "path", *jsonOut, "err", err)
 			}
 			defer f.Close()
 			w = f
@@ -109,7 +108,7 @@ func main() {
 			agg.Add(rep)
 			if jsonEnc != nil {
 				if err := jsonEnc.Encode(jsonReport(rep)); err != nil {
-					log.Fatal(err)
+					telemetry.Fatal("JSON encode failed", "err", err)
 				}
 			}
 			if *printRep {

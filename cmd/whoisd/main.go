@@ -3,47 +3,69 @@
 //
 // Usage:
 //
-//	whoisd -dumps data/ -listen 127.0.0.1:4343
+//	whoisd -dumps data/ -listen 127.0.0.1:4343 -metrics-addr 127.0.0.1:9090
 //	whois -h 127.0.0.1 -p 4343 AS64500
+//	curl http://127.0.0.1:9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/irr"
+	"rpslyzer/internal/parser"
+	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/whois"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("whoisd: ")
 	var (
-		dumps  = flag.String("dumps", "data", "directory with *.db IRR dumps")
-		listen = flag.String("listen", "127.0.0.1:4343", "listen address")
+		dumps       = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		listen      = flag.String("listen", "127.0.0.1:4343", "listen address")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	x, _, err := core.LoadDumpDir(*dumps)
+	level, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := telemetry.SetupLogger("whoisd", level)
+
+	reg := telemetry.Default()
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)
+		}
+		defer ms.Close()
+		logger.Info("metrics endpoint listening", "addr", ms.Addr().String())
+	}
+
+	loadStats := &parser.LoadStats{Metrics: parser.NewPipelineMetrics(reg)}
+	x, _, err := core.LoadDumpDirOpts(*dumps, core.LoadOptions{Stats: loadStats})
+	if err != nil {
+		telemetry.Fatal("load failed", "err", err)
 	}
 	srv := whois.NewServer(irr.New(x))
+	srv.Metrics = whois.NewMetrics(reg)
+	srv.Logger = logger
 	if err := srv.Listen(*listen); err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("listen failed", "addr", *listen, "err", err)
 	}
-	fmt.Printf("serving %d aut-nums, %d route objects on %s\n",
-		len(x.AutNums), len(x.Routes), srv.Addr())
+	logger.Info("serving",
+		"autnums", len(x.AutNums), "routes", len(x.Routes), "addr", srv.Addr().String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+		telemetry.Fatal("shutdown failed", "err", err)
 	}
 }

@@ -32,6 +32,10 @@ func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 		return ParseDumps(dumps...)
 	}
 	workers := parser.DefaultWorkers(opts.Workers)
+	var metrics *parser.PipelineMetrics
+	if opts.Stats != nil {
+		metrics = opts.Stats.Metrics
+	}
 
 	// Producer: split dumps in priority order into globally sequenced
 	// chunks. The channel bound keeps in-flight raw text proportional to
@@ -43,6 +47,7 @@ func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 		for i, d := range dumps {
 			sp := parser.NewSplitter(d.R, d.Name, i, opts.ChunkSize)
 			for c, ok := sp.Next(); ok; c, ok = sp.Next() {
+				metrics.ChunkSplit()
 				chunks <- parser.SeqChunk{Chunk: c, Seq: seq}
 				seq++
 			}
@@ -60,6 +65,7 @@ func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 	next := 0
 	for res := range results {
 		pending[res.Seq] = res
+		metrics.ObserveReorderDepth(len(pending))
 		for {
 			r, ok := pending[next]
 			if !ok {
@@ -69,6 +75,7 @@ func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 			m.apply(r)
 			next++
 		}
+		metrics.ObserveReorderDepth(len(pending))
 	}
 	return m.finish()
 }

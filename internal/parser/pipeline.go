@@ -50,13 +50,19 @@ type WorkerSnapshot struct {
 // atomically; a LoadStats may be read (via Snapshot/PerWorker) while the
 // pipeline runs.
 type LoadStats struct {
+	// Metrics, when non-nil, mirrors the counters into a telemetry
+	// registry (and adds latency histograms the plain counters lack).
+	// Set it before the pipeline starts.
+	Metrics *PipelineMetrics
+
 	bytes   atomic.Int64
 	objects atomic.Int64
 	chunks  atomic.Int64
 	errors  atomic.Int64
 
-	mu      sync.Mutex
-	workers []*workerCounters
+	mu        sync.Mutex
+	workers   []*workerCounters
+	srcErrors map[string]int64
 }
 
 type workerCounters struct {
@@ -105,6 +111,26 @@ func (s *LoadStats) record(res *ChunkResult) {
 	w.chunks.Add(1)
 	w.objects.Add(int64(res.Objects))
 	w.errors.Add(nerr)
+	if nerr > 0 {
+		s.mu.Lock()
+		if s.srcErrors == nil {
+			s.srcErrors = make(map[string]int64)
+		}
+		s.srcErrors[res.Source] += nerr
+		s.mu.Unlock()
+	}
+	s.Metrics.recordChunk(res)
+}
+
+// PerSourceErrors returns the parse-error count per source registry.
+func (s *LoadStats) PerSourceErrors() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.srcErrors))
+	for src, n := range s.srcErrors {
+		out[src] = n
+	}
+	return out
 }
 
 // DefaultWorkers resolves a worker-count setting: values <= 0 mean one
@@ -144,6 +170,10 @@ func ParseChunk(c Chunk, seq, worker int) ChunkResult {
 // chunk completes.
 func ParseChunks(in <-chan SeqChunk, workers int, stats *LoadStats) <-chan ChunkResult {
 	workers = DefaultWorkers(workers)
+	var m *PipelineMetrics
+	if stats != nil {
+		m = stats.Metrics
+	}
 	out := make(chan ChunkResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -151,7 +181,9 @@ func ParseChunks(in <-chan SeqChunk, workers int, stats *LoadStats) <-chan Chunk
 		go func(worker int) {
 			defer wg.Done()
 			for sc := range in {
+				sp := m.chunkSpan()
 				res := ParseChunk(sc.Chunk, sc.Seq, worker)
+				sp.End()
 				if stats != nil {
 					stats.record(&res)
 				}

@@ -51,7 +51,7 @@ func parseChunked(t *testing.T, text string, target int) *Builder {
 // shapes and pathologically small chunk targets.
 func TestSplitterNeverSplitsObjects(t *testing.T) {
 	cases := map[string]string{
-		"plain": "aut-num: AS1\nas-name: ONE\n\naut-num: AS2\n\nas-set: AS-X\nmembers: AS1, AS2\n",
+		"plain":                  "aut-num: AS1\nas-name: ONE\n\naut-num: AS2\n\nas-set: AS-X\nmembers: AS1, AS2\n",
 		"no-trailing-blank-line": "aut-num: AS1\n\naut-num: AS2\nas-name: TWO",
 		"crlf":                   "aut-num: AS1\r\nas-name: ONE\r\n\r\naut-num: AS2\r\n",
 		"continuation-lines":     "as-set: AS-Y\nmembers: AS1,\n AS2,\n+AS3\n\naut-num: AS4\n",

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"rpslyzer/internal/ir"
@@ -51,16 +52,43 @@ type Throughput struct {
 	Errors  int64
 	Elapsed time.Duration
 	Workers int
+	// SourceErrors breaks Errors down by source registry (from
+	// parser.LoadStats.PerSourceErrors).
+	SourceErrors map[string]int64
 }
 
 // String renders the throughput line, guarding against zero elapsed
-// time on tiny inputs.
+// time on tiny inputs. When SourceErrors is set, a per-registry error
+// breakdown follows on a second line, sources sorted by descending
+// count then name.
 func (t Throughput) String() string {
 	sec := t.Elapsed.Seconds()
 	if sec <= 0 {
 		sec = 1e-9
 	}
-	return fmt.Sprintf("pipeline: %.1f MiB/s, %.0f objects/s (%d objects, %d chunks, %d workers, %d parse errors)",
+	line := fmt.Sprintf("pipeline: %.1f MiB/s, %.0f objects/s (%d objects, %d chunks, %d workers, %d parse errors)",
 		float64(t.Bytes)/(1<<20)/sec, float64(t.Objects)/sec,
 		t.Objects, t.Chunks, t.Workers, t.Errors)
+	if len(t.SourceErrors) == 0 {
+		return line
+	}
+	type srcErr struct {
+		src string
+		n   int64
+	}
+	parts := make([]srcErr, 0, len(t.SourceErrors))
+	for src, n := range t.SourceErrors {
+		parts = append(parts, srcErr{src, n})
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].n != parts[j].n {
+			return parts[i].n > parts[j].n
+		}
+		return parts[i].src < parts[j].src
+	})
+	rendered := make([]string, len(parts))
+	for i, p := range parts {
+		rendered[i] = fmt.Sprintf("%s=%d", p.src, p.n)
+	}
+	return line + "\nparse errors by registry: " + strings.Join(rendered, " ")
 }

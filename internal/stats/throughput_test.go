@@ -48,3 +48,26 @@ func TestThroughputString(t *testing.T) {
 		t.Errorf("zero-elapsed throughput = %q", s)
 	}
 }
+
+func TestThroughputSourceErrors(t *testing.T) {
+	tp := Throughput{
+		Bytes: 1 << 20, Objects: 10, Chunks: 1, Errors: 7,
+		Elapsed: time.Second, Workers: 1,
+		SourceErrors: map[string]int64{"RIPE": 4, "RADB": 2, "ARIN": 1},
+	}
+	s := tp.String()
+	// Sorted by descending count, names carried through.
+	if !strings.Contains(s, "parse errors by registry: RIPE=4 RADB=2 ARIN=1") {
+		t.Errorf("per-registry breakdown missing or misordered in %q", s)
+	}
+	// Count ties break alphabetically.
+	tp.SourceErrors = map[string]int64{"B": 1, "A": 1}
+	if s := tp.String(); !strings.Contains(s, "A=1 B=1") {
+		t.Errorf("tie order wrong in %q", s)
+	}
+	// Without the map the line stays single-line as before.
+	tp.SourceErrors = nil
+	if s := tp.String(); strings.Contains(s, "\n") {
+		t.Errorf("unexpected breakdown line in %q", s)
+	}
+}

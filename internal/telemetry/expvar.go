@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+// publishMu serializes expvar publication; expvar.Publish panics on a
+// duplicate name, so PublishExpvar must check-and-publish atomically.
+var publishMu sync.Mutex
+
+// PublishExpvar publishes the registry under "telemetry.<name>" in the
+// process-wide expvar namespace, making it visible at /debug/vars.
+// Publication is idempotent; if another var already claimed the name
+// (e.g. two registries sharing it), the first publication wins.
+func (r *Registry) PublishExpvar() {
+	name := "telemetry." + r.name
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.expvarValue() }))
+}
+
+// expvarValue renders the registry as a JSON-encodable map: counters
+// and gauges as integers, labeled counters as {label value: count},
+// histograms as {count, sum, buckets: {le: cumulative count}}.
+func (r *Registry) expvarValue() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sortedMetrics() {
+		name := m.describe().name
+		switch v := m.(type) {
+		case *Counter:
+			out[name] = v.Value()
+		case *Gauge:
+			out[name] = v.Value()
+		case *LabeledCounter:
+			out[name] = v.Values()
+		case *Histogram:
+			counts := v.snapshot()
+			buckets := make(map[string]int64, len(counts))
+			var cum int64
+			for i, bound := range v.bounds {
+				cum += counts[i]
+				buckets[formatFloat(bound)] = cum
+			}
+			cum += counts[len(counts)-1]
+			buckets["+Inf"] = cum
+			out[name] = map[string]any{
+				"count":   v.Count(),
+				"sum":     v.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// SetupLogger installs a structured, leveled text logger on stderr as
+// the slog default and returns it tagged with the binary's name. All
+// CLI binaries share this helper so their diagnostics have one shape:
+//
+//	time=... level=INFO component=whoisd msg="listening" addr=...
+func SetupLogger(component string, level slog.Leveler) *slog.Logger {
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	logger := slog.New(h).With("component", component)
+	slog.SetDefault(logger)
+	return logger
+}
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: bad log level %q (want debug, info, warn, or error)", s)
+}
+
+// Fatal logs msg at error level on the default logger and exits 1 —
+// the slog replacement for log.Fatal in the CLI binaries.
+func Fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}

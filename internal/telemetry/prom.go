@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text exposition format (version 0.0.4), metrics sorted by
+// name, labeled children sorted by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.sortedMetrics() {
+		d := m.describe()
+		if d.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", d.name, escapeHelp(d.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", d.name, m.promType())
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", d.name, v.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %d\n", d.name, v.Value())
+		case *LabeledCounter:
+			vals := v.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				// %q escapes exactly what the exposition format requires
+				// in label values: backslash, double quote, and newline.
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", d.name, v.label, k, vals[k])
+			}
+		case *Histogram:
+			writePromHistogram(bw, v)
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, h *Histogram) {
+	name := h.d.name
+	counts := h.snapshot()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

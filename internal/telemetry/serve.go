@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is the operational HTTP endpoint of one process: it
+// serves the registry at /metrics (Prometheus text format), the
+// process expvar namespace at /debug/vars, and the net/http/pprof
+// profiling suite at /debug/pprof/.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the operational endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") for the given registry, publishing it in expvar as a
+// side effect. It returns once the listener is bound.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	reg.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return ms, nil
+}
+
+// Addr returns the bound address.
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close shuts the endpoint down, waiting briefly for in-flight
+// scrapes.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return m.srv.Shutdown(ctx)
+}

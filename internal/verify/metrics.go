@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"rpslyzer/internal/telemetry"
+)
+
+// Metrics exposes the verifier's counters through a telemetry registry.
+// Attach with Verifier.SetMetrics; a nil *Metrics is a no-op, so the
+// verification hot path calls through it unconditionally.
+type Metrics struct {
+	// RoutesVerified counts routes fully verified; RoutesIgnored counts
+	// routes excluded (AS-set paths, single-AS paths).
+	RoutesVerified *telemetry.Counter
+	RoutesIgnored  *telemetry.Counter
+	// ChecksEvaluated counts import/export checks; ChecksByStatus breaks
+	// them down by resulting Status.
+	ChecksEvaluated *telemetry.Counter
+	ChecksByStatus  *telemetry.LabeledCounter
+	// CacheHits and CacheMisses count route-cache outcomes (only moving
+	// when Config.EnableRouteCache is set).
+	CacheHits   *telemetry.Counter
+	CacheMisses *telemetry.Counter
+	// RouteSeconds and CheckSeconds are the whole-route and per-check
+	// verification latencies.
+	RouteSeconds *telemetry.Histogram
+	CheckSeconds *telemetry.Histogram
+}
+
+// NewMetrics registers the verifier metrics in reg (the default
+// registry when nil) and returns them.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	return &Metrics{
+		RoutesVerified: reg.Counter("rpslyzer_verify_routes_total",
+			"BGP routes verified."),
+		RoutesIgnored: reg.Counter("rpslyzer_verify_routes_ignored_total",
+			"BGP routes excluded from verification (AS-set or single-AS paths)."),
+		ChecksEvaluated: reg.Counter("rpslyzer_verify_checks_total",
+			"Import/export checks evaluated."),
+		ChecksByStatus: reg.LabeledCounter("rpslyzer_verify_checks_by_status_total",
+			"Import/export checks by verification status.", "status"),
+		CacheHits: reg.Counter("rpslyzer_verify_route_cache_hits_total",
+			"Route-cache hits."),
+		CacheMisses: reg.Counter("rpslyzer_verify_route_cache_misses_total",
+			"Route-cache misses."),
+		RouteSeconds: reg.Histogram("rpslyzer_verify_route_seconds",
+			"Whole-route verification latency.", nil),
+		CheckSeconds: reg.Histogram("rpslyzer_verify_check_seconds",
+			"Per-check verification latency.", nil),
+	}
+}
+
+// SetMetrics attaches metrics to the verifier. Call before verification
+// starts; the verifier reads the pointer without synchronization.
+func (v *Verifier) SetMetrics(m *Metrics) { v.metrics = m }
+
+func (m *Metrics) routeSpan() telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.RouteSeconds)
+}
+
+func (m *Metrics) checkSpan() telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.CheckSeconds)
+}
+
+func (m *Metrics) observeRoute(rep *RouteReport) {
+	if m == nil {
+		return
+	}
+	if rep.Ignored != "" {
+		m.RoutesIgnored.Inc()
+	} else {
+		m.RoutesVerified.Inc()
+	}
+}
+
+func (m *Metrics) observeCheck(st Status) {
+	if m == nil {
+		return
+	}
+	m.ChecksEvaluated.Inc()
+	m.ChecksByStatus.Inc(st.String())
+}
+
+func (m *Metrics) cacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+func (m *Metrics) cacheMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
+}

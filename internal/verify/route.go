@@ -25,19 +25,27 @@ type RouteReport struct {
 // single-AS routes and AS-set routes are ignored, as in the paper
 // (0.06% and 0.03% of routes respectively).
 func (v *Verifier) VerifyRoute(route bgpsim.Route) RouteReport {
+	sp := v.metrics.routeSpan()
+	defer sp.End()
 	if v.cfg.EnableRouteCache {
 		key := routeCacheKey(route)
 		if cached, ok := v.routeCache.Load(key); ok {
 			v.cacheHits.Add(1)
+			v.metrics.cacheHit()
 			rep := cached.(RouteReport)
 			rep.Route = route
+			v.metrics.observeRoute(&rep)
 			return rep
 		}
+		v.metrics.cacheMiss()
 		rep := v.verifyRouteUncached(route)
 		v.routeCache.Store(key, rep)
+		v.metrics.observeRoute(&rep)
 		return rep
 	}
-	return v.verifyRouteUncached(route)
+	rep := v.verifyRouteUncached(route)
+	v.metrics.observeRoute(&rep)
+	return rep
 }
 
 // CacheHits reports route-cache hits since construction.
@@ -99,9 +107,19 @@ func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
 	return rep
 }
 
-// check runs one import or export check for an AS pair, applying the
-// full classification ladder.
+// check runs one import or export check for an AS pair, recording its
+// latency and outcome in the attached metrics.
 func (v *Verifier) check(ctx *evalCtx) Check {
+	sp := v.metrics.checkSpan()
+	c := v.evalCheck(ctx)
+	sp.End()
+	v.metrics.observeCheck(c.Status)
+	return c
+}
+
+// evalCheck runs one import or export check for an AS pair, applying
+// the full classification ladder.
+func (v *Verifier) evalCheck(ctx *evalCtx) Check {
 	c := Check{Dir: ctx.dir}
 	if ctx.dir == ir.DirExport {
 		c.From, c.To = ctx.self, ctx.peer

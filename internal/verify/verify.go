@@ -256,6 +256,10 @@ type Verifier struct {
 	routeCache sync.Map // string -> RouteReport
 	// cacheHits counts cache hits (read with CacheHits).
 	cacheHits atomic.Int64
+
+	// metrics, when non-nil, mirrors verification counters into a
+	// telemetry registry (set with SetMetrics).
+	metrics *Metrics
 }
 
 // New creates a Verifier.

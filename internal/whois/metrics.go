@@ -1,0 +1,94 @@
+package whois
+
+import (
+	"rpslyzer/internal/telemetry"
+)
+
+// Metrics exposes the whois server's counters through a telemetry
+// registry. Attach to Server.Metrics before Listen; a nil *Metrics is a
+// no-op, so the serving path calls through it unconditionally.
+type Metrics struct {
+	// ConnsAccepted counts accepted TCP connections; ConnsInFlight is
+	// the number currently being served.
+	ConnsAccepted *telemetry.Counter
+	ConnsInFlight *telemetry.Gauge
+	// AcceptRetries counts temporary accept errors the server backed off
+	// and retried (e.g. out of file descriptors).
+	AcceptRetries *telemetry.Counter
+	// ConnsDropped counts connections that ended without a served
+	// response: read timeouts, empty requests, or failed writes.
+	ConnsDropped *telemetry.Counter
+	// Queries counts queries answered; QuerySeconds is the per-query
+	// evaluation latency; ResponseBytes sums response payloads.
+	Queries       *telemetry.Counter
+	QuerySeconds  *telemetry.Histogram
+	ResponseBytes *telemetry.Counter
+}
+
+// NewMetrics registers the whois server metrics in reg (the default
+// registry when nil) and returns them.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	return &Metrics{
+		ConnsAccepted: reg.Counter("rpslyzer_whois_connections_total",
+			"TCP connections accepted."),
+		ConnsInFlight: reg.Gauge("rpslyzer_whois_connections_in_flight",
+			"Connections currently being served."),
+		AcceptRetries: reg.Counter("rpslyzer_whois_accept_retries_total",
+			"Temporary accept errors retried with backoff."),
+		ConnsDropped: reg.Counter("rpslyzer_whois_connections_dropped_total",
+			"Connections dropped without a served response (timeouts, empty requests, failed writes)."),
+		Queries: reg.Counter("rpslyzer_whois_queries_total",
+			"Whois queries answered."),
+		QuerySeconds: reg.Histogram("rpslyzer_whois_query_seconds",
+			"Per-query evaluation latency.", nil),
+		ResponseBytes: reg.Counter("rpslyzer_whois_response_bytes_total",
+			"Response bytes written."),
+	}
+}
+
+func (m *Metrics) connAccepted() {
+	if m == nil {
+		return
+	}
+	m.ConnsAccepted.Inc()
+	m.ConnsInFlight.Inc()
+}
+
+func (m *Metrics) connDone() {
+	if m == nil {
+		return
+	}
+	m.ConnsInFlight.Dec()
+}
+
+func (m *Metrics) acceptRetry() {
+	if m == nil {
+		return
+	}
+	m.AcceptRetries.Inc()
+}
+
+func (m *Metrics) connDropped() {
+	if m == nil {
+		return
+	}
+	m.ConnsDropped.Inc()
+}
+
+func (m *Metrics) querySpan() telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.QuerySeconds)
+}
+
+func (m *Metrics) observeQuery(respBytes int) {
+	if m == nil {
+		return
+	}
+	m.Queries.Inc()
+	m.ResponseBytes.Add(int64(respBytes))
+}

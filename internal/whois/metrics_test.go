@@ -1,0 +1,186 @@
+package whois
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rpslyzer/internal/telemetry"
+)
+
+// TestServerConcurrentMetrics hammers the server with parallel clients
+// while a scraper reads /metrics concurrently, then checks the counters
+// add up. Run under -race this doubles as the data-race test for the
+// whole metrics path.
+func TestServerConcurrentMetrics(t *testing.T) {
+	const (
+		clients = 8
+		queries = 25
+	)
+	reg := telemetry.NewRegistry("whois-hammer")
+	s := newTestServer(t)
+	s.Metrics = NewMetrics(reg)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addr().String()
+
+	ms, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	metricsURL := "http://" + ms.Addr().String() + "/metrics"
+
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			resp, err := http.Get(metricsURL)
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				resp, err := QueryServer(addr, "AS15169")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !strings.Contains(resp, "AS15169") {
+					errCh <- fmt.Errorf("bad response %q", resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	const total = clients * queries
+	if got := s.Metrics.Queries.Value(); got != total {
+		t.Errorf("queries_total = %d, want %d", got, total)
+	}
+	if got := s.Metrics.ConnsAccepted.Value(); got != total {
+		t.Errorf("connections_total = %d, want %d", got, total)
+	}
+	if got := s.Metrics.ResponseBytes.Value(); got <= 0 {
+		t.Errorf("response_bytes_total = %d, want > 0", got)
+	}
+	if got := s.Metrics.QuerySeconds.Count(); got != total {
+		t.Errorf("query_seconds count = %d, want %d", got, total)
+	}
+	// All connections finished, so the in-flight gauge must settle at 0.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Metrics.ConnsInFlight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("connections_in_flight = %d, want 0", s.Metrics.ConnsInFlight.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// flakyListener fails the first n Accept calls with a temporary error.
+type flakyListener struct {
+	net.Listener
+	mu    sync.Mutex
+	fails int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "temporary accept failure" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fails > 0 {
+		l.fails--
+		l.mu.Unlock()
+		return nil, tempErr{}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopRetriesTemporaryErrors exercises the backoff path: the
+// listener fails a few accepts with a temporary error and the server
+// must keep serving instead of exiting.
+func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t)
+	s.Metrics = NewMetrics(telemetry.NewRegistry("whois-flaky"))
+	const fails = 3
+	fl := &flakyListener{Listener: ln, fails: fails}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(fl)
+	defer s.Close()
+
+	resp, err := QueryServer(ln.Addr().String(), "AS15169")
+	if err != nil {
+		t.Fatalf("query after temporary accept errors: %v", err)
+	}
+	if !strings.Contains(resp, "AS15169") {
+		t.Errorf("bad response %q", resp)
+	}
+	if got := s.Metrics.AcceptRetries.Value(); got != fails {
+		t.Errorf("accept_retries_total = %d, want %d", got, fails)
+	}
+}
+
+// TestAcceptLoopStopsOnPermanentError makes sure a non-temporary error
+// still ends the loop (no spin).
+func TestAcceptLoopStopsOnPermanentError(t *testing.T) {
+	s := newTestServer(t)
+	done := make(chan struct{})
+	go func() {
+		s.acceptLoop(permanentErrListener{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept loop did not stop on permanent error")
+	}
+}
+
+type permanentErrListener struct{}
+
+func (permanentErrListener) Accept() (net.Conn, error) { return nil, errors.New("boom") }
+func (permanentErrListener) Close() error              { return nil }
+func (permanentErrListener) Addr() net.Addr            { return &net.TCPAddr{} }

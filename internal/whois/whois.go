@@ -8,8 +8,10 @@ package whois
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"strings"
@@ -24,6 +26,12 @@ import (
 // Server serves whois queries from an IRR database.
 type Server struct {
 	DB *irr.Database
+
+	// Metrics, when non-nil, records connection and query counters (set
+	// before Listen).
+	Metrics *Metrics
+	// Logger receives accept-loop diagnostics; nil means slog.Default.
+	Logger *slog.Logger
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -72,15 +80,57 @@ func (s *Server) Close() error {
 	return err
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// acceptLoop serves the listener until Close. Temporary accept errors
+// (e.g. EMFILE under fd pressure) are retried with exponential backoff
+// instead of silently killing the server; only a permanent error or
+// Close stops the loop.
 func (s *Server) acceptLoop(ln net.Listener) {
+	const (
+		minBackoff = 5 * time.Millisecond
+		maxBackoff = time.Second
+	)
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && (ne.Timeout() || ne.Temporary()) {
+				if backoff == 0 {
+					backoff = minBackoff
+				} else if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				s.Metrics.acceptRetry()
+				s.logger().Warn("temporary accept error; retrying",
+					"err", err, "backoff", backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			s.logger().Error("accept failed; whois server stopping", "err", err)
 			return
 		}
+		backoff = 0
+		s.Metrics.connAccepted()
 		s.conns.Add(1)
 		go func() {
 			defer s.conns.Done()
+			defer s.Metrics.connDone()
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			s.handle(conn)
@@ -92,10 +142,17 @@ func (s *Server) handle(conn io.ReadWriter) {
 	r := bufio.NewReader(io.LimitReader(conn, 4096))
 	line, err := r.ReadString('\n')
 	if err != nil && line == "" {
+		// Read timeout or empty request: nothing to answer.
+		s.Metrics.connDropped()
 		return
 	}
+	sp := s.Metrics.querySpan()
 	resp := s.Query(strings.TrimSpace(line))
-	io.WriteString(conn, resp)
+	sp.End()
+	s.Metrics.observeQuery(len(resp))
+	if _, err := io.WriteString(conn, resp); err != nil {
+		s.Metrics.connDropped()
+	}
 }
 
 // Query answers one whois query string. Supported forms:

@@ -1,17 +1,28 @@
 #!/usr/bin/env sh
 # Repo verification recipe (the CI gate):
 #
-#   1. build everything
-#   2. vet
-#   3. tier-1 tests
-#   4. the same tests under the race detector — the ingestion pipeline
+#   1. gofmt — the tree must be gofmt-clean
+#   2. build everything
+#   3. vet
+#   4. tier-1 tests
+#   5. the same tests under the race detector — the ingestion pipeline
 #      and the verifier's caches are concurrent, so a green run here is
 #      part of the contract, not an extra
+#   6. bench smoke — one iteration of the ingestion benchmark, written
+#      to BENCH_ingest.json so perf regressions leave a paper trail
 #
 # Usage: scripts/verify.sh [package-pattern]   (default ./...)
 set -eu
 
 pkgs="${1:-./...}"
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build $pkgs"
 go build "$pkgs"
@@ -24,5 +35,9 @@ go test "$pkgs"
 
 echo "== go test -race $pkgs"
 go test -race "$pkgs"
+
+echo "== bench smoke (BenchmarkLoadDumpDir, 1x)"
+go test -run '^$' -bench '^BenchmarkLoadDumpDir$' -benchtime 1x -json . > BENCH_ingest.json
+grep -q '"Action":"pass"' BENCH_ingest.json
 
 echo "verify: OK"

@@ -1,0 +1,197 @@
+package rpslyzer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/parser"
+	"rpslyzer/internal/telemetry"
+	"rpslyzer/internal/verify"
+	"rpslyzer/internal/whois"
+)
+
+// parseProm parses Prometheus text exposition into a map keyed by the
+// full sample name including labels (e.g. `foo_bucket{le="+Inf"}`).
+func parseProm(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("bad metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestTelemetryEndToEnd drives the full observability path: load dumps
+// through the instrumented pipeline, serve and query them over whois,
+// verify routes twice through the route cache, then scrape /metrics
+// over HTTP and check the scraped counters match the work performed.
+func TestTelemetryEndToEnd(t *testing.T) {
+	sys, err := core.BuildSynthetic(core.Options{Seed: 7, ASes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := core.WriteUniverse(sys, nil, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry("e2e")
+
+	// Stage 1: ingestion through the instrumented pipeline.
+	loadStats := &parser.LoadStats{Metrics: parser.NewPipelineMetrics(reg)}
+	x, _, err := core.LoadDumpDirOpts(dir, core.LoadOptions{Workers: 4, Stats: loadStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, objects, chunks, parseErrs := loadStats.Snapshot()
+
+	// Stage 2: whois server answering real TCP queries.
+	srv := whois.NewServer(irr.New(x))
+	srv.Metrics = whois.NewMetrics(reg)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	autnums := x.SortedAutNums()
+	if len(autnums) < 10 {
+		t.Fatalf("universe too small: %d aut-nums", len(autnums))
+	}
+	queries := 0
+	for _, asn := range autnums[:10] {
+		resp, err := whois.QueryServer(srv.Addr().String(), asn.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(resp, "aut-num:") {
+			t.Fatalf("query %s: bad response %q", asn, resp)
+		}
+		queries++
+	}
+
+	// Stage 3: verification with the route cache, run twice so the
+	// second pass is all cache hits.
+	_, verifier := core.BuildFromIR(x, sys.Rels, verify.Config{EnableRouteCache: true})
+	verifier.SetMetrics(verify.NewMetrics(reg))
+	routes := sys.CollectRoutes(4, 7)
+	if len(routes) == 0 {
+		t.Fatal("no routes collected")
+	}
+	verifier.VerifyAll(routes, 4)
+	verifier.VerifyAll(routes, 4)
+
+	// Scrape over HTTP and cross-check against the work performed.
+	ms, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	base := "http://" + ms.Addr().String()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	samples := parseProm(t, body)
+
+	// Pipeline counters match the LoadStats ground truth.
+	for name, want := range map[string]float64{
+		"rpslyzer_pipeline_chunks_split_total":   float64(chunks),
+		"rpslyzer_pipeline_chunks_parsed_total":  float64(chunks),
+		"rpslyzer_pipeline_objects_parsed_total": float64(objects),
+	} {
+		if samples[name] != want {
+			t.Errorf("%s = %g, want %g", name, samples[name], want)
+		}
+	}
+	if got := samples[`rpslyzer_pipeline_chunk_parse_seconds_bucket{le="+Inf"}`]; got != float64(chunks) {
+		t.Errorf("chunk_parse_seconds +Inf bucket = %g, want %d", got, chunks)
+	}
+	// The per-registry error breakdown sums to the error total.
+	var srcSum int64
+	for _, n := range loadStats.PerSourceErrors() {
+		srcSum += n
+	}
+	if srcSum != parseErrs {
+		t.Errorf("per-source errors sum = %d, want %d", srcSum, parseErrs)
+	}
+
+	// Whois counters match the queries issued.
+	if got := samples["rpslyzer_whois_queries_total"]; got != float64(queries) {
+		t.Errorf("whois_queries_total = %g, want %d", got, queries)
+	}
+	if got := samples["rpslyzer_whois_connections_total"]; got != float64(queries) {
+		t.Errorf("whois_connections_total = %g, want %d", got, queries)
+	}
+	if got := samples[`rpslyzer_whois_query_seconds_bucket{le="+Inf"}`]; got != float64(queries) {
+		t.Errorf("whois query latency histogram count = %g, want %d", got, queries)
+	}
+	if !strings.Contains(body, "# TYPE rpslyzer_whois_query_seconds histogram") {
+		t.Error("whois query latency histogram not exposed as TYPE histogram")
+	}
+
+	// Verifier cache: hits + misses over two identical passes cover
+	// every route, and the metric agrees with the verifier's own count.
+	hits := samples["rpslyzer_verify_route_cache_hits_total"]
+	misses := samples["rpslyzer_verify_route_cache_misses_total"]
+	if hits+misses != float64(2*len(routes)) {
+		t.Errorf("cache hits(%g)+misses(%g) = %g, want %d", hits, misses, hits+misses, 2*len(routes))
+	}
+	if hits != float64(verifier.CacheHits()) {
+		t.Errorf("cache_hits_total = %g, verifier.CacheHits() = %d", hits, verifier.CacheHits())
+	}
+	if hits < float64(len(routes)) {
+		t.Errorf("cache hits = %g, want >= %d (second pass must hit)", hits, len(routes))
+	}
+	if got := samples["rpslyzer_verify_routes_total"] + samples["rpslyzer_verify_routes_ignored_total"]; got != float64(2*len(routes)) {
+		t.Errorf("verified+ignored routes = %g, want %d", got, 2*len(routes))
+	}
+	if samples["rpslyzer_verify_checks_total"] <= 0 {
+		t.Error("verify_checks_total not positive")
+	}
+	// Per-status counters sum to the checks total.
+	var byStatus float64
+	for st := verify.Verified; st <= verify.Unverified; st++ {
+		byStatus += samples[fmt.Sprintf(`rpslyzer_verify_checks_by_status_total{status="%s"}`, st)]
+	}
+	if byStatus != samples["rpslyzer_verify_checks_total"] {
+		t.Errorf("checks by status sum = %g, want %g", byStatus, samples["rpslyzer_verify_checks_total"])
+	}
+
+	// The companion debug endpoints answer too.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, r.StatusCode)
+		}
+	}
+}
