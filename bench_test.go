@@ -15,11 +15,15 @@ import (
 	"rpslyzer/internal/asregex"
 	"rpslyzer/internal/bgpsim"
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/evolve"
 	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/lint"
+	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/parser"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/render"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/rpsl"
 	"rpslyzer/internal/stats"
@@ -445,6 +449,78 @@ func BenchmarkAblationRouteCache(b *testing.B) {
 			}
 		}
 	})
+}
+
+// journalFixture holds the NRTM benchmark inputs: a parsed base
+// snapshot, one evolution step's journals at 1% churn, and the next
+// snapshot's dump texts for the full-reparse baseline.
+type journalFixture struct {
+	baseDB   *irr.Database
+	journals []*nrtm.Journal
+	next     map[string]string
+}
+
+var (
+	jfixOnce sync.Once
+	jfix     journalFixture
+)
+
+func getJournalFixture(b *testing.B) *journalFixture {
+	b.Helper()
+	f := getFixture(b)
+	jfixOnce.Do(func() {
+		prev := f.sys.IR
+		cfg := irrgen.EvolveConfig{Seed: 42} // defaults: 1% policy/set churn
+		next := irrgen.Evolve(prev, 1, cfg)
+		journals := evolve.Compare(prev, next).ToJournals(prev, next, nil)
+		if len(journals) == 0 {
+			panic("evolution produced no journals")
+		}
+		jfix = journalFixture{
+			baseDB:   irr.New(prev),
+			journals: journals,
+			next:     render.IR(next),
+		}
+	})
+	return &jfix
+}
+
+// BenchmarkApplyJournal measures reaching snapshot B incrementally:
+// clone the base database, apply one evolution step's journals, and
+// rebuild only the affected indexes. Compare against
+// BenchmarkFullReparse, which reaches the same snapshot from the raw
+// dumps; the ISSUE contract is ≥ 10× at 1% churn.
+func BenchmarkApplyJournal(b *testing.B) {
+	jf := getJournalFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mir := nrtm.NewMirrorDB(jf.baseDB, nil, nil)
+		if err := mir.ApplyAll(jf.journals); err != nil {
+			b.Fatal(err)
+		}
+		if mir.DB() == jf.baseDB {
+			b.Fatal("apply published nothing")
+		}
+	}
+}
+
+// BenchmarkFullReparse is the baseline BenchmarkApplyJournal beats:
+// parse snapshot B's 13 dumps from scratch and index them.
+func BenchmarkFullReparse(b *testing.B) {
+	jf := getJournalFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dumps []core.Dump
+		for _, name := range irrgen.IRRs {
+			if text, ok := jf.next[name]; ok {
+				dumps = append(dumps, core.Dump{Name: name, R: strings.NewReader(text)})
+			}
+		}
+		db := irr.New(core.ParseDumps(dumps...))
+		if len(db.IR.AutNums) == 0 {
+			b.Fatal("reparse produced nothing")
+		}
+	}
 }
 
 // BenchmarkLint measures the linter over the synthetic registry.

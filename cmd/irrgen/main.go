@@ -14,6 +14,9 @@ import (
 	"path/filepath"
 
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/evolve"
+	"rpslyzer/internal/irrgen"
+	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/telemetry"
 )
 
@@ -24,6 +27,8 @@ func main() {
 		collectors = flag.Int("collectors", 20, "number of BGP collectors")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
 		writeMRT   = flag.Bool("mrt", false, "also write routes.mrt in MRT TABLE_DUMP_V2 format")
+		evolveN    = flag.Int("evolve", 0, "also emit N evolution steps as NRTM journals under <out>/journals, with the final snapshot's dumps under <out>/final")
+		churn      = flag.Float64("churn", 0.01, "per-step policy and set churn fraction for -evolve (route add/withdraw run at half this rate)")
 	)
 	flag.Parse()
 	telemetry.SetupLogger("irrgen", nil)
@@ -49,4 +54,49 @@ func main() {
 	}
 	fmt.Fprintf(os.Stdout, "total dump size: %.1f MiB; ASes: %d; aut-nums: %d; route objects: %d\n",
 		float64(total)/(1<<20), len(sys.Topo.Order), len(sys.IR.AutNums), len(sys.IR.Routes))
+
+	if *evolveN > 0 {
+		if err := emitEvolution(sys, *out, *evolveN, *seed, *churn); err != nil {
+			telemetry.Fatal("evolve failed", "err", err)
+		}
+	}
+}
+
+// emitEvolution mutates the generated universe steps times, writing
+// one journal per affected registry and step under <out>/journals
+// (named so a lexical sort replays them in order) and the final
+// snapshot's dumps under <out>/final.
+func emitEvolution(sys *core.System, out string, steps int, seed int64, churn float64) error {
+	jdir := filepath.Join(out, "journals")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		return err
+	}
+	cfg := irrgen.EvolveConfig{
+		Seed:              seed,
+		PolicyChurnFrac:   churn,
+		SetChurnFrac:      churn,
+		RouteAddFrac:      churn / 2,
+		RouteWithdrawFrac: churn / 2,
+	}
+	serials := make(map[string]uint64)
+	prev := sys.IR
+	journals := 0
+	for step := 1; step <= steps; step++ {
+		next := irrgen.Evolve(prev, step, cfg)
+		diff := evolve.Compare(prev, next)
+		for _, j := range diff.ToJournals(prev, next, serials) {
+			path := filepath.Join(jdir, fmt.Sprintf("%06d.%s.nrtm", step, j.Registry))
+			if err := nrtm.WriteJournalFile(path, j); err != nil {
+				return err
+			}
+			journals++
+		}
+		prev = next
+	}
+	if err := core.WriteIRDumps(filepath.Join(out, "final"), prev); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "evolved %d steps: %d journals in %s, final dumps in %s\n",
+		steps, journals, jdir, filepath.Join(out, "final"))
+	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/mrt"
+	"rpslyzer/internal/render"
 )
 
 // WriteUniverse writes a generated universe to dir: one "<irr>.db"
@@ -51,6 +52,26 @@ func WriteUniverse(sys *System, routes []bgpsim.Route, dir string) error {
 			return err
 		}
 		return rf.Close()
+	}
+	return nil
+}
+
+// WriteIRDumps renders x as per-registry RPSL dumps in dir, one
+// "<irr>.db" file per source (the same layout WriteUniverse emits, so
+// the result can be re-read with LoadDumpDir). Objects without a
+// recorded source are skipped.
+func WriteIRDumps(dir string, x *ir.IR) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for src, text := range render.IR(x) {
+		if src == "" {
+			continue
+		}
+		path := filepath.Join(dir, strings.ToLower(src)+".db")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ type Diff struct {
 	ChangedAsSets    []string `json:"changed_as_sets,omitempty"`
 	AddedRouteSets   []string `json:"added_route_sets,omitempty"`
 	RemovedRouteSets []string `json:"removed_route_sets,omitempty"`
+	ChangedRouteSets []string `json:"changed_route_sets,omitempty"`
 
 	// Route-object churn, by (prefix, origin) pair.
 	AddedRoutes   int `json:"added_routes"`
@@ -92,13 +93,19 @@ func Compare(oldIR, newIR *ir.IR) *Diff {
 			d.AddedRouteSets = append(d.AddedRouteSets, name)
 		}
 	}
-	for name := range oldIR.RouteSets {
-		if _, ok := newIR.RouteSets[name]; !ok {
+	for name, oldSet := range oldIR.RouteSets {
+		newSet, ok := newIR.RouteSets[name]
+		if !ok {
 			d.RemovedRouteSets = append(d.RemovedRouteSets, name)
+			continue
+		}
+		if !sameRouteSetMembers(oldSet, newSet) {
+			d.ChangedRouteSets = append(d.ChangedRouteSets, name)
 		}
 	}
 	sort.Strings(d.AddedRouteSets)
 	sort.Strings(d.RemovedRouteSets)
+	sort.Strings(d.ChangedRouteSets)
 
 	oldPairs := routePairs(oldIR)
 	newPairs := routePairs(newIR)
@@ -119,7 +126,7 @@ func Compare(oldIR, newIR *ir.IR) *Diff {
 func (d *Diff) Empty() bool {
 	return len(d.AddedAutNums)+len(d.RemovedAutNums)+len(d.PolicyChanged)+
 		len(d.AddedAsSets)+len(d.RemovedAsSets)+len(d.ChangedAsSets)+
-		len(d.AddedRouteSets)+len(d.RemovedRouteSets)+
+		len(d.AddedRouteSets)+len(d.RemovedRouteSets)+len(d.ChangedRouteSets)+
 		d.AddedRoutes+d.RemovedRoutes == 0
 }
 
@@ -131,7 +138,8 @@ func (d *Diff) Summary() string {
 		d.RulesAdded, d.RulesRemoved)
 	fmt.Fprintf(&b, "as-sets: +%d -%d ~%d\n",
 		len(d.AddedAsSets), len(d.RemovedAsSets), len(d.ChangedAsSets))
-	fmt.Fprintf(&b, "route-sets: +%d -%d\n", len(d.AddedRouteSets), len(d.RemovedRouteSets))
+	fmt.Fprintf(&b, "route-sets: +%d -%d ~%d\n",
+		len(d.AddedRouteSets), len(d.RemovedRouteSets), len(d.ChangedRouteSets))
 	fmt.Fprintf(&b, "route objects (prefix,origin): +%d -%d\n", d.AddedRoutes, d.RemovedRoutes)
 	return b.String()
 }
@@ -186,6 +194,26 @@ func sameMembers(a, b *ir.AsSet) bool {
 	for _, x := range b.MemberSets {
 		as[x]--
 		if as[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sameRouteSetMembers compares two route-sets' member lists as
+// multisets (matching the as-set idiom above).
+func sameRouteSetMembers(a, b *ir.RouteSet) bool {
+	if len(a.Members) != len(b.Members) {
+		return false
+	}
+	counts := map[string]int{}
+	for _, m := range a.Members {
+		counts[fmt.Sprint(m)]++
+	}
+	for _, m := range b.Members {
+		k := fmt.Sprint(m)
+		counts[k]--
+		if counts[k] < 0 {
 			return false
 		}
 	}

@@ -7,6 +7,8 @@ package ir
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -169,6 +171,32 @@ func New() *IR {
 		RtrSets:     make(map[string]*RtrSet),
 		Counts:      make(map[string]map[string]int),
 	}
+}
+
+// Clone returns a snapshot copy of the IR for copy-on-write updates:
+// every top-level map and slice is freshly allocated, while the
+// objects themselves (*AutNum, *AsSet, ...) are shared. A mutator that
+// treats objects as immutable — replacing map entries with newly
+// parsed objects instead of editing them in place — can therefore
+// build a new snapshot without disturbing readers of the old one.
+// The incremental mirroring path (internal/nrtm) relies on this.
+func (x *IR) Clone() *IR {
+	c := &IR{
+		AutNums:     maps.Clone(x.AutNums),
+		AsSets:      maps.Clone(x.AsSets),
+		RouteSets:   maps.Clone(x.RouteSets),
+		PeeringSets: maps.Clone(x.PeeringSets),
+		FilterSets:  maps.Clone(x.FilterSets),
+		InetRtrs:    maps.Clone(x.InetRtrs),
+		RtrSets:     maps.Clone(x.RtrSets),
+		Routes:      slices.Clone(x.Routes),
+		Errors:      slices.Clone(x.Errors),
+		Counts:      make(map[string]map[string]int, len(x.Counts)),
+	}
+	for src, m := range x.Counts {
+		c.Counts[src] = maps.Clone(m)
+	}
+	return c
 }
 
 // CountObject bumps the per-source, per-class object counter.

@@ -6,6 +6,7 @@
 package irr
 
 import (
+	"slices"
 	"sync"
 
 	"rpslyzer/internal/ir"
@@ -20,10 +21,15 @@ type Database struct {
 	// routesByOrigin maps each origin AS to its route-object prefixes.
 	routesByOrigin map[ir.ASN]*prefix.Table
 
-	// originsByPrefix maps an exact prefix to the origins of its route
+	// prefixRoutes maps an exact prefix to the origins of its route
 	// objects (the paper's multi-origin analysis and the Export Self
-	// relaxation both need this reverse index).
-	originsByPrefix map[prefix.Prefix][]ir.ASN
+	// relaxation both need this reverse index) together with how many
+	// route objects (across sources) record each (prefix, origin) pair,
+	// which is what incremental removal needs to know when a pair truly
+	// leaves the indexes. One map serves both: snapshot clones copy the
+	// route indexes wholesale on every journal apply, so keeping the
+	// per-prefix state single halves that cost.
+	prefixRoutes map[prefix.Prefix]prefixOrigins
 
 	// asSetIndirect lists ASNs joined to each as-set via member-of +
 	// mbrs-by-ref; routeSetIndirect likewise for route objects.
@@ -92,23 +98,31 @@ func New(x *ir.IR) *Database {
 	return db
 }
 
-// indexRoutes builds per-origin route tables and the reverse
-// prefix-to-origins index.
+// prefixOrigins is the per-prefix record in prefixRoutes: the distinct
+// origins of a prefix's route objects in first-seen order, with counts
+// parallel to origins giving each (prefix, origin) pair's route-object
+// multiplicity across sources. Values shared between snapshots are
+// immutable; mutators replace the slices instead of editing them.
+type prefixOrigins struct {
+	origins []ir.ASN
+	counts  []int
+}
+
+// indexRoutes builds per-origin route tables and the per-prefix
+// origin/multiplicity index.
 func (db *Database) indexRoutes() {
 	byOrigin := make(map[ir.ASN][]prefix.Range)
-	db.originsByPrefix = make(map[prefix.Prefix][]ir.ASN)
+	db.prefixRoutes = make(map[prefix.Prefix]prefixOrigins)
 	for _, r := range db.IR.Routes {
+		po := db.prefixRoutes[r.Prefix]
+		if i := slices.Index(po.origins, r.Origin); i >= 0 {
+			po.counts[i]++ // fresh build: the backing array is unshared
+			continue
+		}
+		po.origins = append(po.origins, r.Origin)
+		po.counts = append(po.counts, 1)
 		byOrigin[r.Origin] = append(byOrigin[r.Origin], prefix.Range{Prefix: r.Prefix})
-		found := false
-		for _, o := range db.originsByPrefix[r.Prefix] {
-			if o == r.Origin {
-				found = true
-				break
-			}
-		}
-		if !found {
-			db.originsByPrefix[r.Prefix] = append(db.originsByPrefix[r.Prefix], r.Origin)
-		}
+		db.prefixRoutes[r.Prefix] = po
 	}
 	for asn, ranges := range byOrigin {
 		db.routesByOrigin[asn] = prefix.NewTable(ranges)
@@ -118,7 +132,7 @@ func (db *Database) indexRoutes() {
 // OriginsOf returns the origins of route objects registered for
 // exactly this prefix.
 func (db *Database) OriginsOf(p prefix.Prefix) []ir.ASN {
-	return db.originsByPrefix[p]
+	return db.prefixRoutes[p].origins
 }
 
 // indexMembersByRef resolves "members by reference": an aut-num (or

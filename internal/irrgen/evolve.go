@@ -1,0 +1,140 @@
+package irrgen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/parser"
+	"rpslyzer/internal/prefix"
+)
+
+// EvolveConfig calibrates the per-step churn rates of the synthetic
+// Internet's evolution. The defaults mirror the magnitudes observed in
+// longitudinal IRR studies: around a percent of policies and sets move
+// per snapshot interval, and route registration/cleanup churn is a
+// fraction of a percent each way.
+type EvolveConfig struct {
+	Seed int64
+	// PolicyChurnFrac is the fraction of aut-nums whose rule set
+	// changes (an import added or dropped).
+	PolicyChurnFrac float64
+	// RouteAddFrac and RouteWithdrawFrac are the fractions of the
+	// route-object population added and withdrawn.
+	RouteAddFrac      float64
+	RouteWithdrawFrac float64
+	// SetChurnFrac is the fraction of as-sets whose member list
+	// changes.
+	SetChurnFrac float64
+}
+
+func (c *EvolveConfig) fill() {
+	if c.PolicyChurnFrac == 0 {
+		c.PolicyChurnFrac = 0.01
+	}
+	if c.RouteAddFrac == 0 {
+		c.RouteAddFrac = 0.005
+	}
+	if c.RouteWithdrawFrac == 0 {
+		c.RouteWithdrawFrac = 0.005
+	}
+	if c.SetChurnFrac == 0 {
+		c.SetChurnFrac = 0.01
+	}
+}
+
+// maxRouteAddsPerStep caps route minting so long evolutions stay
+// within the reserved 10.0.0.0/8 namespace.
+const maxRouteAddsPerStep = 500
+
+// Evolve returns a mutated copy of the snapshot: policy churn, route
+// add/withdraw, and set membership changes at the configured rates.
+// The input is not modified (objects are copied before mutation), and
+// the result is deterministic in (cfg.Seed, step). New route objects
+// are appended at the end of Routes, which is what keeps journal
+// replay order aligned with dump render order.
+func Evolve(x *ir.IR, step int, cfg EvolveConfig) *ir.IR {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed<<16 ^ int64(step+1)))
+	next := x.Clone()
+
+	asns := x.SortedAutNums()
+
+	// Policy churn: drop the last import or gain one.
+	for _, asn := range asns {
+		if rng.Float64() >= cfg.PolicyChurnFrac {
+			continue
+		}
+		old := next.AutNums[asn]
+		an := *old
+		if len(an.Imports) > 0 && rng.Intn(2) == 0 {
+			an.Imports = slices.Clone(an.Imports[:len(an.Imports)-1])
+		} else {
+			peer := asns[rng.Intn(len(asns))]
+			raw := fmt.Sprintf("from %s accept ANY", peer)
+			rule, err := parser.ParseRule(ir.DirImport, false, raw)
+			if err != nil {
+				panic(fmt.Sprintf("irrgen: evolve rule %q: %v", raw, err))
+			}
+			an.Imports = append(slices.Clone(an.Imports), rule)
+		}
+		next.AutNums[asn] = &an
+	}
+
+	// Route withdrawals.
+	kept := make([]*ir.RouteObject, 0, len(next.Routes))
+	for _, r := range next.Routes {
+		if rng.Float64() < cfg.RouteWithdrawFrac {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	next.Routes = kept
+
+	// Route additions: fresh prefixes from 10.0.0.0/8, a block neither
+	// the topology allocator (ascending from 11.0.0.0) nor the stale
+	// generator (5.0.0.0/8) ever uses.
+	adds := int(cfg.RouteAddFrac * float64(len(x.Routes)))
+	if adds > maxRouteAddsPerStep {
+		adds = maxRouteAddsPerStep
+	}
+	for i := 0; i < adds && len(asns) > 0; i++ {
+		counter := step*maxRouteAddsPerStep + i
+		p := prefix.MustParse(fmt.Sprintf("10.%d.%d.0/24", (counter>>8)&255, counter&255))
+		origin := asns[rng.Intn(len(asns))]
+		src := next.AutNums[origin].Source
+		if src == "" {
+			src = "RADB"
+		}
+		next.Routes = append(next.Routes, &ir.RouteObject{
+			Prefix: p,
+			Origin: origin,
+			MntBys: []string{fmt.Sprintf("MNT-AS%d", uint32(origin))},
+			Source: src,
+		})
+	}
+
+	// Set membership churn: gain or lose a direct member AS.
+	setNames := make([]string, 0, len(next.AsSets))
+	for name := range next.AsSets {
+		setNames = append(setNames, name)
+	}
+	sort.Strings(setNames)
+	for _, name := range setNames {
+		if rng.Float64() >= cfg.SetChurnFrac {
+			continue
+		}
+		old := next.AsSets[name]
+		set := *old
+		if len(set.MemberASNs) > 0 && rng.Intn(2) == 0 {
+			set.MemberASNs = slices.Clone(set.MemberASNs[:len(set.MemberASNs)-1])
+		} else if len(asns) > 0 {
+			set.MemberASNs = append(slices.Clone(set.MemberASNs), asns[rng.Intn(len(asns))])
+		}
+		next.AsSets[name] = &set
+	}
+
+	return next
+}

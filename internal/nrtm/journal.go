@@ -1,0 +1,300 @@
+// Package nrtm implements near-real-time mirroring of IRR databases
+// in the spirit of the NRTM protocol IRRd mirrors speak: registries
+// publish serial-numbered ADD/DEL deltas in RFC 2622 dump syntax, and
+// mirrors apply them incrementally instead of re-fetching and
+// re-parsing the full multi-GiB dumps. The package provides the
+// journal format (a Writer/Reader pair with CRC-checked framing) and
+// the Mirror, which applies journals to a parsed snapshot while
+// serving queries from immutable hot-swapped database snapshots.
+package nrtm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Action discriminates journal operations.
+type Action uint8
+
+const (
+	// OpAdd upserts an object: it is created if absent, replaced if a
+	// same-keyed object exists (IRRd treats ADD of an existing object
+	// as an update, and so do we).
+	OpAdd Action = iota
+	// OpDel removes the keyed object carried in the operation body.
+	OpDel
+)
+
+// String renders the action keyword as it appears on the wire.
+func (a Action) String() string {
+	if a == OpDel {
+		return "DEL"
+	}
+	return "ADD"
+}
+
+// Op is one journal operation: a serial number, an action, and the
+// full RPSL text of the object it applies to. Object holds one object
+// in dump syntax — attribute lines each ending in '\n', no blank
+// lines, no trailing blank separator.
+type Op struct {
+	Serial uint64
+	Action Action
+	Object string
+}
+
+// Journal is an ordered batch of operations for one registry covering
+// the contiguous serial range [First, Last].
+type Journal struct {
+	Registry string
+	First    uint64
+	Last     uint64
+	Ops      []Op
+}
+
+// Errors returned by the journal reader. Wrapped with file/line
+// context; test with errors.Is.
+var (
+	// ErrBadFrame reports malformed journal framing (missing or
+	// inconsistent header, trailer, or operation lines).
+	ErrBadFrame = errors.New("nrtm: bad journal framing")
+	// ErrChecksum reports an operation whose object text does not match
+	// its recorded CRC32.
+	ErrChecksum = errors.New("nrtm: checksum mismatch")
+	// ErrSerialOrder reports serials that are not contiguous and
+	// ascending within the journal's declared range.
+	ErrSerialOrder = errors.New("nrtm: serial out of order")
+)
+
+// journalVersion is the on-disk format version.
+const journalVersion = 1
+
+// WriteJournal writes j in the text framing ReadJournal parses:
+//
+//	%START nrtm 1 <registry> <first>-<last>
+//
+//	ADD <serial> CRC32 <8-hex-digits>
+//
+//	<object in RPSL dump syntax>
+//
+//	DEL <serial> CRC32 <8-hex-digits>
+//
+//	<object>
+//
+//	%END nrtm <registry> <first>-<last>
+//
+// The CRC32 (IEEE) covers the operation's object text exactly as
+// framed. Serials must already be contiguous from First to Last.
+func WriteJournal(w io.Writer, j *Journal) error {
+	if err := j.validateRange(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%%START nrtm %d %s %d-%d\n\n", journalVersion, j.Registry, j.First, j.Last)
+	for _, op := range j.Ops {
+		obj := canonicalObject(op.Object)
+		fmt.Fprintf(bw, "%s %d CRC32 %08x\n\n%s\n", op.Action, op.Serial,
+			crc32.ChecksumIEEE([]byte(obj)), obj)
+	}
+	fmt.Fprintf(bw, "%%END nrtm %s %d-%d\n", j.Registry, j.First, j.Last)
+	return bw.Flush()
+}
+
+// validateRange checks the serial bookkeeping before writing.
+func (j *Journal) validateRange() error {
+	if len(j.Ops) == 0 {
+		return fmt.Errorf("%w: journal for %s has no operations", ErrBadFrame, j.Registry)
+	}
+	if j.Registry == "" {
+		return fmt.Errorf("%w: empty registry name", ErrBadFrame)
+	}
+	if j.Last-j.First+1 != uint64(len(j.Ops)) {
+		return fmt.Errorf("%w: range %d-%d does not cover %d ops",
+			ErrSerialOrder, j.First, j.Last, len(j.Ops))
+	}
+	for i, op := range j.Ops {
+		if op.Serial != j.First+uint64(i) {
+			return fmt.Errorf("%w: op %d has serial %d, want %d",
+				ErrSerialOrder, i, op.Serial, j.First+uint64(i))
+		}
+		if strings.TrimSpace(op.Object) == "" {
+			return fmt.Errorf("%w: op %d (serial %d) has an empty object", ErrBadFrame, i, op.Serial)
+		}
+	}
+	return nil
+}
+
+// canonicalObject normalizes object text to the framed form: no
+// leading/trailing blank lines, a single trailing newline.
+func canonicalObject(text string) string {
+	return strings.Trim(text, "\n") + "\n"
+}
+
+// ReadJournal parses one journal, validating framing, per-operation
+// checksums, and serial contiguity.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return strings.TrimRight(sc.Text(), " \t\r"), true
+	}
+
+	// Header.
+	var j *Journal
+	for {
+		l, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %%START header", ErrBadFrame)
+		}
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		var version int
+		var reg string
+		var first, last uint64
+		if n, err := fmt.Sscanf(l, "%%START nrtm %d %s %d-%d", &version, &reg, &first, &last); n != 4 || err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad header %q", ErrBadFrame, line, l)
+		}
+		if version != journalVersion {
+			return nil, fmt.Errorf("%w: unsupported journal version %d", ErrBadFrame, version)
+		}
+		j = &Journal{Registry: reg, First: first, Last: last}
+		break
+	}
+
+	// Operations until the %END trailer.
+	for {
+		l, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("%w: missing %%END trailer", ErrBadFrame)
+		}
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		if strings.HasPrefix(l, "%END") {
+			var reg string
+			var first, last uint64
+			if n, err := fmt.Sscanf(l, "%%END nrtm %s %d-%d", &reg, &first, &last); n != 3 || err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad trailer %q", ErrBadFrame, line, l)
+			}
+			if reg != j.Registry || first != j.First || last != j.Last {
+				return nil, fmt.Errorf("%w: trailer %q does not match header %s %d-%d",
+					ErrBadFrame, l, j.Registry, j.First, j.Last)
+			}
+			if err := j.validateRange(); err != nil {
+				return nil, err
+			}
+			return j, nil
+		}
+
+		op, err := parseOpHeader(l, line)
+		if err != nil {
+			return nil, err
+		}
+		// The op header is followed by a blank line, then the object
+		// text up to the next blank line (rendered RPSL objects never
+		// contain blank lines).
+		var obj strings.Builder
+		started := false
+		for {
+			ol, ok := next()
+			if !ok {
+				return nil, fmt.Errorf("%w: unterminated object for serial %d", ErrBadFrame, op.Serial)
+			}
+			if strings.TrimSpace(ol) == "" {
+				if started {
+					break
+				}
+				continue // the separator between op header and object
+			}
+			started = true
+			obj.WriteString(ol)
+			obj.WriteByte('\n')
+		}
+		op.Object = obj.String()
+		if sum := crc32.ChecksumIEEE([]byte(op.Object)); sum != op.wantCRC {
+			return nil, fmt.Errorf("%w: serial %d: got %08x, want %08x",
+				ErrChecksum, op.Serial, sum, op.wantCRC)
+		}
+		j.Ops = append(j.Ops, op.Op)
+	}
+}
+
+// opFrame is a parsed operation header awaiting its object body.
+type opFrame struct {
+	Op
+	wantCRC uint32
+}
+
+// parseOpHeader parses "ADD <serial> CRC32 <hex>" / "DEL ...".
+func parseOpHeader(l string, line int) (opFrame, error) {
+	fields := strings.Fields(l)
+	if len(fields) != 4 || fields[2] != "CRC32" {
+		return opFrame{}, fmt.Errorf("%w: line %d: bad operation header %q", ErrBadFrame, line, l)
+	}
+	var op opFrame
+	switch fields[0] {
+	case "ADD":
+		op.Action = OpAdd
+	case "DEL":
+		op.Action = OpDel
+	default:
+		return opFrame{}, fmt.Errorf("%w: line %d: unknown action %q", ErrBadFrame, line, fields[0])
+	}
+	serial, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return opFrame{}, fmt.Errorf("%w: line %d: bad serial %q", ErrBadFrame, line, fields[1])
+	}
+	op.Serial = serial
+	sum, err := strconv.ParseUint(fields[3], 16, 32)
+	if err != nil {
+		return opFrame{}, fmt.Errorf("%w: line %d: bad CRC %q", ErrBadFrame, line, fields[3])
+	}
+	op.wantCRC = uint32(sum)
+	return op, nil
+}
+
+// WriteJournalFile writes j to path atomically (write to a temp file
+// in the same directory, then rename), so directory-polling mirrors
+// never observe a half-written journal.
+func WriteJournalFile(path string, j *Journal) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".nrtm-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteJournal(tmp, j); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadJournalFile reads and validates the journal at path.
+func ReadJournalFile(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	j, err := ReadJournal(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return j, nil
+}

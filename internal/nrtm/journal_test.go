@@ -1,0 +1,122 @@
+package nrtm
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// opText frames one valid operation for hand-built journals.
+func opText(action string, serial int, obj string) string {
+	return fmt.Sprintf("%s %d CRC32 %08x\n\n%s\n", action, serial, crc32.ChecksumIEEE([]byte(obj)), obj)
+}
+
+func sampleJournal() *Journal {
+	return &Journal{
+		Registry: "RIPE",
+		First:    11,
+		Last:     13,
+		Ops: []Op{
+			{Serial: 11, Action: OpAdd, Object: "route: 192.0.2.0/24\norigin: AS64500\n"},
+			{Serial: 12, Action: OpDel, Object: "aut-num: AS64501\nas-name: GONE\n"},
+			{Serial: 13, Action: OpAdd, Object: "as-set: AS-TEST\nmembers: AS64500, AS64501\n"},
+		},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := sampleJournal()
+	var buf strings.Builder
+	if err := WriteJournal(&buf, j); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadJournal(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Registry != j.Registry || got.First != j.First || got.Last != j.Last {
+		t.Fatalf("header: got %s %d-%d", got.Registry, got.First, got.Last)
+	}
+	if len(got.Ops) != len(j.Ops) {
+		t.Fatalf("ops: got %d, want %d", len(got.Ops), len(j.Ops))
+	}
+	for i, op := range got.Ops {
+		want := j.Ops[i]
+		if op.Serial != want.Serial || op.Action != want.Action || op.Object != want.Object {
+			t.Errorf("op %d: got %+v, want %+v", i, op, want)
+		}
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "000001.RIPE.nrtm")
+	j := sampleJournal()
+	if err := WriteJournalFile(path, j); err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+	got, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("read file: %v", err)
+	}
+	if got.Last != 13 || len(got.Ops) != 3 {
+		t.Fatalf("got %d ops, last %d", len(got.Ops), got.Last)
+	}
+}
+
+func TestJournalChecksumDetectsCorruption(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteJournal(&buf, sampleJournal()); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(buf.String(), "AS64500", "AS64555", 1)
+	if _, err := ReadJournal(strings.NewReader(corrupt)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestJournalBadFraming(t *testing.T) {
+	route := "route: 192.0.2.0/24\n"
+	op1 := opText("ADD", 1, route)
+	cases := map[string]string{
+		"no header":      op1,
+		"no trailer":     "%START nrtm 1 RIPE 1-1\n\n" + op1,
+		"bad version":    "%START nrtm 9 RIPE 1-1\n\n%END nrtm RIPE 1-1\n",
+		"trailer drift":  "%START nrtm 1 RIPE 1-1\n\n" + op1 + "\n%END nrtm RIPE 1-9\n",
+		"empty journal":  "%START nrtm 1 RIPE 1-1\n\n%END nrtm RIPE 1-1\n",
+		"bad op header":  "%START nrtm 1 RIPE 1-1\n\nFROB 1 CRC32 00000000\n\n" + route + "\n%END nrtm RIPE 1-1\n",
+		"truncated body": "%START nrtm 1 RIPE 1-1\n\nADD 1 CRC32 00000000\n\nroute: 192.0.2.0/24",
+	}
+	for name, text := range cases {
+		if _, err := ReadJournal(strings.NewReader(text)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestJournalSerialOrder(t *testing.T) {
+	j := sampleJournal()
+	j.Ops[1].Serial = 99
+	var buf strings.Builder
+	if err := WriteJournal(&buf, j); !errors.Is(err, ErrSerialOrder) {
+		t.Fatalf("write: got %v, want ErrSerialOrder", err)
+	}
+	j = sampleJournal()
+	j.Last = 20
+	if err := WriteJournal(&buf, j); !errors.Is(err, ErrSerialOrder) {
+		t.Fatalf("range: got %v, want ErrSerialOrder", err)
+	}
+
+	// A reader must also reject a hand-edited journal whose serials
+	// skip within the declared range.
+	route := "route: 192.0.2.0/24\n"
+	text := "%START nrtm 1 RIPE 1-2\n\n" +
+		opText("ADD", 1, route) + "\n" +
+		opText("ADD", 9, route) + "\n" +
+		"%END nrtm RIPE 1-2\n"
+	if _, err := ReadJournal(strings.NewReader(text)); !errors.Is(err, ErrSerialOrder) {
+		t.Fatalf("read: got %v, want ErrSerialOrder", err)
+	}
+}

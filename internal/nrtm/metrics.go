@@ -1,0 +1,79 @@
+package nrtm
+
+import (
+	"rpslyzer/internal/telemetry"
+)
+
+// Metrics exposes the mirror's counters through a telemetry registry.
+// A nil *Metrics is a no-op, so the apply path calls through it
+// unconditionally.
+type Metrics struct {
+	// SerialsApplied counts journal serials (operations) applied;
+	// ObjectsTouched counts the objects those operations created,
+	// replaced, or deleted (currently one per op).
+	SerialsApplied *telemetry.Counter
+	ObjectsTouched *telemetry.Counter
+	// ApplySeconds is the per-journal incremental apply latency,
+	// including index maintenance and re-flattening.
+	ApplySeconds *telemetry.Histogram
+	// Resyncs counts full database rebuilds forced by serial gaps or
+	// corrupt journals; Swaps counts snapshot pointer swaps (one per
+	// applied journal or resync).
+	Resyncs *telemetry.Counter
+	Swaps   *telemetry.Counter
+	// SerialGaps counts journals rejected for non-contiguous serials.
+	SerialGaps *telemetry.Counter
+}
+
+// NewMetrics registers the mirror metrics in reg (the default registry
+// when nil) and returns them.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	return &Metrics{
+		SerialsApplied: reg.Counter("rpslyzer_nrtm_serials_applied_total",
+			"Journal serials applied incrementally."),
+		ObjectsTouched: reg.Counter("rpslyzer_nrtm_objects_touched_total",
+			"Objects created, replaced, or deleted by journal operations."),
+		ApplySeconds: reg.Histogram("rpslyzer_nrtm_apply_seconds",
+			"Per-journal incremental apply latency.", nil),
+		Resyncs: reg.Counter("rpslyzer_nrtm_resyncs_total",
+			"Full resyncs forced by serial gaps or corrupt journals."),
+		Swaps: reg.Counter("rpslyzer_nrtm_swaps_total",
+			"Database snapshot swaps."),
+		SerialGaps: reg.Counter("rpslyzer_nrtm_serial_gaps_total",
+			"Journals rejected for non-contiguous serials."),
+	}
+}
+
+func (m *Metrics) applySpan() telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.ApplySeconds)
+}
+
+func (m *Metrics) applied(ops int) {
+	if m == nil {
+		return
+	}
+	m.SerialsApplied.Add(int64(ops))
+	m.ObjectsTouched.Add(int64(ops))
+	m.Swaps.Inc()
+}
+
+func (m *Metrics) gap() {
+	if m == nil {
+		return
+	}
+	m.SerialGaps.Inc()
+}
+
+func (m *Metrics) resynced() {
+	if m == nil {
+		return
+	}
+	m.Resyncs.Inc()
+	m.Swaps.Inc()
+}

@@ -1,0 +1,437 @@
+package nrtm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/parser"
+	"rpslyzer/internal/prefix"
+)
+
+// Mirror maintains a live irr.Database by applying journals
+// incrementally. Every applied journal produces a fresh immutable
+// snapshot (a copy-on-write clone with only the affected indexes
+// recomputed) published through an atomic pointer, so readers obtained
+// via DB are never mutated: in-flight queries finish on the snapshot
+// they loaded while new queries see the new serial.
+//
+// Apply and Resync serialize through an internal mutex; DB, Serials,
+// and Resyncs are safe to call concurrently from any goroutine.
+type Mirror struct {
+	mu      sync.Mutex
+	db      atomic.Pointer[irr.Database]
+	serials map[string]uint64
+	resyncs atomic.Uint64
+	metrics *Metrics
+}
+
+// SerialGapError reports a journal whose first serial does not
+// continue the mirror's last applied serial for the registry. The
+// mirror cannot apply it; the caller must fall back to a full resync.
+type SerialGapError struct {
+	Registry string
+	// Have is the last applied serial (0 when the registry is new);
+	// First is the rejected journal's first serial, which must have
+	// been Have+1.
+	Have  uint64
+	First uint64
+}
+
+func (e *SerialGapError) Error() string {
+	return fmt.Sprintf("nrtm: %s: serial gap: have %d, journal starts at %d",
+		e.Registry, e.Have, e.First)
+}
+
+// NewMirror builds a mirror over a freshly indexed database for x.
+// serials records the journal serial each registry's snapshot
+// corresponds to (nil means every registry starts at serial 0, i.e.
+// the next journal must start at 1). The map is copied. Metrics may be
+// nil.
+func NewMirror(x *ir.IR, serials map[string]uint64, m *Metrics) *Mirror {
+	return NewMirrorDB(irr.New(x), serials, m)
+}
+
+// NewMirrorDB is NewMirror for an already-indexed database.
+func NewMirrorDB(db *irr.Database, serials map[string]uint64, m *Metrics) *Mirror {
+	mir := &Mirror{serials: make(map[string]uint64, len(serials)), metrics: m}
+	for reg, s := range serials {
+		mir.serials[reg] = s
+	}
+	mir.db.Store(db)
+	return mir
+}
+
+// DB returns the current immutable snapshot.
+func (m *Mirror) DB() *irr.Database {
+	return m.db.Load()
+}
+
+// Serials returns a copy of the last applied serial per registry.
+func (m *Mirror) Serials() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.serials))
+	for reg, s := range m.serials {
+		out[reg] = s
+	}
+	return out
+}
+
+// Resyncs returns how many full resyncs the mirror has performed.
+func (m *Mirror) Resyncs() uint64 {
+	return m.resyncs.Load()
+}
+
+// Apply applies one journal and publishes the resulting snapshot.
+// The journal's first serial must be exactly one past the registry's
+// last applied serial; otherwise Apply returns a *SerialGapError and
+// changes nothing. Any other error (unparseable operation, DEL of a
+// missing object) likewise leaves the published snapshot and serials
+// untouched — operations are applied to a private clone that is only
+// published on full success.
+func (m *Mirror) Apply(j *Journal) error {
+	return m.ApplyAll([]*Journal{j})
+}
+
+// ApplyAll applies a batch of journals — possibly spanning several
+// registries and several consecutive serial ranges per registry — as
+// one transaction: a single snapshot clone, a single index settle, and
+// a single publish. Use it when several journals are ready at once
+// (catch-up after a poll interval, offline replay); the per-journal
+// clone-and-settle cost of repeated Apply calls is what it amortizes.
+// The batch is all-or-nothing: a serial gap or a bad operation in any
+// journal leaves the published snapshot and every serial untouched.
+func (m *Mirror) ApplyAll(journals []*Journal) error {
+	if len(journals) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := make(map[string]uint64, len(journals))
+	for reg := range m.serials {
+		next[reg] = m.serials[reg]
+	}
+	for _, j := range journals {
+		if have := next[j.Registry]; j.First != have+1 {
+			m.metrics.gap()
+			return &SerialGapError{Registry: j.Registry, Have: have, First: j.First}
+		}
+		next[j.Registry] = j.Last
+	}
+	span := m.metrics.applySpan()
+	db := m.db.Load().Clone()
+	st := newApplyState()
+	ops := 0
+	for _, j := range journals {
+		for _, op := range j.Ops {
+			if err := applyOp(db, st, j.Registry, op); err != nil {
+				return fmt.Errorf("nrtm: %s serial %d: %w", j.Registry, op.Serial, err)
+			}
+		}
+		ops += len(j.Ops)
+	}
+	st.settle(db)
+	m.db.Store(db)
+	m.serials = next
+	span.End()
+	m.metrics.applied(ops)
+	return nil
+}
+
+// Resync replaces the mirror's state with a full rebuild from x,
+// resetting the serial map to serials (copied; nil resets every
+// registry to 0). Use it when Apply reports a serial gap and the
+// caller has re-fetched full dumps.
+func (m *Mirror) Resync(x *ir.IR, serials map[string]uint64) {
+	db := irr.New(x)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.serials = make(map[string]uint64, len(serials))
+	for reg, s := range serials {
+		m.serials[reg] = s
+	}
+	m.db.Store(db)
+	m.resyncs.Add(1)
+	m.metrics.resynced()
+}
+
+// routeID is the identity of a route object across the whole IR:
+// the parser deduplicates on exactly this tuple.
+type routeID struct {
+	p   prefix.Prefix
+	o   ir.ASN
+	src string
+}
+
+// applyState accumulates, across one journal's operations, which
+// indexes must be settled before the snapshot is published.
+type applyState struct {
+	// routeIdx maps route identity to its position in IR.Routes.
+	// Deleted positions are nil-ed and compacted in settle so indexes
+	// stay stable while operations are applied.
+	routeIdx      map[routeID]int
+	routesChanged bool
+	// dirtyAsSets collects as-sets whose flat views are stale (changed
+	// objects and sets whose indirect membership moved);
+	// reindexAsSets/reindexRouteSets collect changed set objects whose
+	// members-by-reference entries must be rebuilt by scanning.
+	dirtyAsSets      map[string]struct{}
+	reindexAsSets    map[string]struct{}
+	reindexRouteSets map[string]struct{}
+}
+
+func newApplyState() *applyState {
+	return &applyState{
+		dirtyAsSets:      make(map[string]struct{}),
+		reindexAsSets:    make(map[string]struct{}),
+		reindexRouteSets: make(map[string]struct{}),
+	}
+}
+
+// settle recomputes the derived indexes the journal's operations made
+// stale. Members-by-reference entries of changed sets are rebuilt
+// against the final object population (operation order within the
+// journal must not matter), then the affected as-set region is
+// re-flattened, then route-sets if anything they depend on moved.
+func (st *applyState) settle(db *irr.Database) {
+	for name := range st.reindexAsSets {
+		db.ReindexAsSet(name)
+	}
+	db.ReflattenAsSets(sortedNames(st.dirtyAsSets))
+	if st.routesChanged || len(st.dirtyAsSets) > 0 || len(st.reindexRouteSets) > 0 {
+		for name := range st.reindexRouteSets {
+			db.ReindexRouteSet(name)
+		}
+		db.ReflattenRouteSets()
+	}
+	if st.routesChanged {
+		fresh := db.IR.Routes[:0]
+		for _, r := range db.IR.Routes {
+			if r != nil {
+				fresh = append(fresh, r)
+			}
+		}
+		db.IR.Routes = fresh
+	}
+}
+
+func sortedNames(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// applyOp applies one operation to the private clone.
+func applyOp(db *irr.Database, st *applyState, registry string, op Op) error {
+	obj, one, err := parser.ParseOne(op.Object, registry)
+	if err != nil {
+		return err
+	}
+	switch obj.Class {
+	case "aut-num":
+		for asn, an := range one.AutNums {
+			old := db.IR.AutNums[asn]
+			if op.Action == OpAdd {
+				db.IR.AutNums[asn] = an
+				oldSource := ""
+				if old != nil {
+					oldSource = old.Source
+				}
+				adjustCount(db.IR, oldSource, registry, obj.Class, old == nil)
+				markDirty(st.dirtyAsSets, db.UpdateAutNumRefs(asn, old, an))
+			} else {
+				if old == nil {
+					return fmt.Errorf("nrtm: DEL of unknown aut-num AS%d", asn)
+				}
+				delete(db.IR.AutNums, asn)
+				uncount(db.IR, old.Source, obj.Class)
+				markDirty(st.dirtyAsSets, db.UpdateAutNumRefs(asn, old, nil))
+			}
+		}
+	case "as-set":
+		for name, set := range one.AsSets {
+			old, existed := db.IR.AsSets[name]
+			if op.Action == OpAdd {
+				db.IR.AsSets[name] = set
+				oldSource := ""
+				if existed {
+					oldSource = old.Source
+				}
+				adjustCount(db.IR, oldSource, registry, obj.Class, !existed)
+			} else {
+				if !existed {
+					return fmt.Errorf("nrtm: DEL of unknown as-set %s", name)
+				}
+				uncount(db.IR, db.IR.AsSets[name].Source, obj.Class)
+				delete(db.IR.AsSets, name)
+			}
+			st.reindexAsSets[name] = struct{}{}
+			st.dirtyAsSets[name] = struct{}{}
+		}
+	case "route-set":
+		for name, set := range one.RouteSets {
+			old, existed := db.IR.RouteSets[name]
+			if op.Action == OpAdd {
+				db.IR.RouteSets[name] = set
+				oldSource := ""
+				if existed {
+					oldSource = old.Source
+				}
+				adjustCount(db.IR, oldSource, registry, obj.Class, !existed)
+			} else {
+				if !existed {
+					return fmt.Errorf("nrtm: DEL of unknown route-set %s", name)
+				}
+				uncount(db.IR, db.IR.RouteSets[name].Source, obj.Class)
+				delete(db.IR.RouteSets, name)
+			}
+			st.reindexRouteSets[name] = struct{}{}
+		}
+	case "route", "route6":
+		if len(one.Routes) != 1 {
+			return fmt.Errorf("nrtm: route operation decoded %d routes", len(one.Routes))
+		}
+		return applyRouteOp(db, st, registry, op.Action, one.Routes[0], obj.Class)
+	case "peering-set":
+		for name, set := range one.PeeringSets {
+			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.PeeringSets, name, set,
+				func(s *ir.PeeringSet) string { return s.Source }); err != nil {
+				return err
+			}
+		}
+	case "filter-set":
+		for name, set := range one.FilterSets {
+			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.FilterSets, name, set,
+				func(s *ir.FilterSet) string { return s.Source }); err != nil {
+				return err
+			}
+		}
+	case "inet-rtr":
+		for name, rtr := range one.InetRtrs {
+			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.InetRtrs, name, rtr,
+				func(s *ir.InetRtr) string { return s.Source }); err != nil {
+				return err
+			}
+		}
+	case "rtr-set":
+		for name, set := range one.RtrSets {
+			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.RtrSets, name, set,
+				func(s *ir.RtrSet) string { return s.Source }); err != nil {
+				return err
+			}
+		}
+	default:
+		// Non-routing classes (mntner, person, ...) carry no indexed
+		// state; only the per-source census moves.
+		if op.Action == OpAdd {
+			db.IR.CountObject(registry, obj.Class)
+		} else {
+			uncount(db.IR, registry, obj.Class)
+		}
+	}
+	return nil
+}
+
+// upsert applies an ADD/DEL to one of the plain keyed-object maps
+// that need no index maintenance beyond the census.
+func upsert[V any](x *ir.IR, registry, class string, a Action, m map[string]V, name string, v V,
+	source func(V) string) error {
+	old, existed := m[name]
+	if a == OpAdd {
+		m[name] = v
+		oldSource := ""
+		if existed {
+			oldSource = source(old)
+		}
+		adjustCount(x, oldSource, registry, class, !existed)
+		return nil
+	}
+	if !existed {
+		return fmt.Errorf("nrtm: DEL of unknown %s %s", class, name)
+	}
+	delete(m, name)
+	uncount(x, source(old), class)
+	return nil
+}
+
+// applyRouteOp maintains IR.Routes and the route indexes for one
+// route operation. Route identity is (prefix, origin, source) — the
+// same tuple the parser deduplicates on — and the journal's registry
+// is the source, so a registry can only touch its own route objects.
+func applyRouteOp(db *irr.Database, st *applyState, registry string, a Action, r *ir.RouteObject, class string) error {
+	if st.routeIdx == nil {
+		st.routeIdx = make(map[routeID]int, len(db.IR.Routes))
+		for i, ex := range db.IR.Routes {
+			st.routeIdx[routeID{ex.Prefix, ex.Origin, ex.Source}] = i
+		}
+	}
+	id := routeID{r.Prefix, r.Origin, r.Source}
+	idx, existed := st.routeIdx[id]
+	if a == OpAdd {
+		if existed {
+			// Replace in place (e.g. changed member-of) so dump render
+			// order is preserved.
+			db.RemoveRoute(db.IR.Routes[idx])
+			db.IR.Routes[idx] = r
+		} else {
+			db.IR.Routes = append(db.IR.Routes, r)
+			st.routeIdx[id] = len(db.IR.Routes) - 1
+			db.IR.CountObject(registry, class)
+		}
+		db.AddRoute(r)
+	} else {
+		if !existed {
+			return fmt.Errorf("nrtm: DEL of unknown route %s AS%d", r.Prefix, r.Origin)
+		}
+		db.RemoveRoute(db.IR.Routes[idx])
+		db.IR.Routes[idx] = nil
+		delete(st.routeIdx, id)
+		uncount(db.IR, registry, class)
+	}
+	st.routesChanged = true
+	return nil
+}
+
+// adjustCount maintains the per-source census on an ADD: newly
+// created objects count in the journal's registry, and a replacement
+// that moves an object between registries moves its count too.
+func adjustCount(x *ir.IR, oldSource, registry, class string, created bool) {
+	if created {
+		x.CountObject(registry, class)
+		return
+	}
+	if oldSource != registry {
+		uncount(x, oldSource, class)
+		x.CountObject(registry, class)
+	}
+}
+
+// uncount decrements the per-source census, dropping zeroed entries so
+// the map shape matches a fresh parse.
+func uncount(x *ir.IR, source, class string) {
+	m := x.Counts[source]
+	if m == nil {
+		return
+	}
+	if m[class] > 1 {
+		m[class]--
+		return
+	}
+	delete(m, class)
+	if len(m) == 0 {
+		delete(x.Counts, source)
+	}
+}
+
+func markDirty(set map[string]struct{}, names []string) {
+	for _, n := range names {
+		set[n] = struct{}{}
+	}
+}

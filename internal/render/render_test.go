@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"rpslyzer/internal/core"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/parser"
@@ -40,7 +39,7 @@ func reparse(t *testing.T, texts map[string]string) *ir.IR {
 }
 
 func TestRenderSingleObjects(t *testing.T) {
-	x := core.ParseText(`
+	x := reparse(t, map[string]string{"RIPE": `
 aut-num:        AS64500
 as-name:        EXAMPLE
 import:         from AS64501 accept AS-CUST
@@ -80,7 +79,7 @@ source:         RIPE
 rtr-set:        RTRS-X
 members:        rtr.example.net
 source:         RIPE
-`, "RIPE")
+`})
 	texts := IR(x)
 	text := texts["RIPE"]
 	for _, want := range []string{

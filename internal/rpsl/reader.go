@@ -42,10 +42,19 @@ func NewReader(r io.Reader, source string) *Reader {
 // chunk of a dump; firstLine keeps object and diagnostic line numbers
 // identical to a whole-file read.
 func NewReaderAt(r io.Reader, source string, firstLine int) *Reader {
-	sc := bufio.NewScanner(r)
 	// IRR dumps contain enormous attribute values (as-sets with tens of
 	// thousands of members on folded lines).
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return NewReaderSized(r, source, firstLine, 64*1024)
+}
+
+// NewReaderSized is NewReaderAt with a caller-chosen initial scan
+// buffer capacity. Journal appliers decode many tiny single-object
+// texts, where the default dump-tuned buffer is pure allocation
+// overhead; they size the buffer to the text instead. Lines longer
+// than the initial capacity still grow up to the 16 MiB ceiling.
+func NewReaderSized(r io.Reader, source string, firstLine, bufCap int) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, bufCap), 16*1024*1024)
 	return &Reader{scan: sc, source: source, line: firstLine - 1}
 }
 

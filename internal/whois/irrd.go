@@ -6,12 +6,13 @@ import (
 	"strings"
 
 	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
 )
 
 // queryIRRd answers irrd-protocol short commands. Responses follow the
 // irrd framing: "A<len>\n<data>\nC\n" on success, "D\n" for no data,
 // "F <msg>\n" for errors.
-func (s *Server) queryIRRd(q string) string {
+func (s *Server) queryIRRd(db *irr.Database, q string) string {
 	switch {
 	case strings.HasPrefix(q, "!g"), strings.HasPrefix(q, "!6"):
 		wantV6 := strings.HasPrefix(q, "!6")
@@ -19,7 +20,7 @@ func (s *Server) queryIRRd(q string) string {
 		if err != nil {
 			return "F bad AS number\n"
 		}
-		tbl, ok := s.DB.RouteTable(asn)
+		tbl, ok := db.RouteTable(asn)
 		if !ok {
 			return "D\n"
 		}
@@ -42,7 +43,7 @@ func (s *Server) queryIRRd(q string) string {
 		}
 		name := strings.ToUpper(arg)
 		if recursive {
-			flat, ok := s.DB.AsSet(name)
+			flat, ok := db.AsSet(name)
 			if !ok {
 				return "D\n"
 			}
@@ -56,7 +57,7 @@ func (s *Server) queryIRRd(q string) string {
 			}
 			return frameIRRd(strings.Join(members, " "))
 		}
-		set, ok := s.DB.IR.AsSets[name]
+		set, ok := db.IR.AsSets[name]
 		if !ok {
 			return "D\n"
 		}
@@ -70,10 +71,48 @@ func (s *Server) queryIRRd(q string) string {
 			return "D\n"
 		}
 		return frameIRRd(strings.Join(members, " "))
+	case strings.HasPrefix(q, "!j"):
+		return s.querySerials(strings.TrimSpace(q[2:]))
 	case q == "!!":
 		return "A0\n\nC\n" // persistent-connection handshake; accepted, unused
 	}
 	return "F unrecognized command\n"
+}
+
+// querySerials answers "!j": the current mirror serial per registry,
+// one "<SOURCE>:Y:<serial>" line each (irrd's journal-status shape).
+// "!j" and "!j-*" report every registry; "!jRIPE,RADB" filters. A
+// server without a serial source (no mirror attached) has no data.
+func (s *Server) querySerials(arg string) string {
+	if s.SerialSource == nil {
+		return "D\n"
+	}
+	serials := s.SerialSource()
+	if len(serials) == 0 {
+		return "D\n"
+	}
+	var names []string
+	if arg == "" || arg == "-*" {
+		for reg := range serials {
+			names = append(names, reg)
+		}
+	} else {
+		for _, reg := range strings.Split(arg, ",") {
+			reg = strings.ToUpper(strings.TrimSpace(reg))
+			if _, ok := serials[reg]; ok {
+				names = append(names, reg)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return "D\n"
+	}
+	sort.Strings(names)
+	lines := make([]string, len(names))
+	for i, reg := range names {
+		lines[i] = fmt.Sprintf("%s:Y:%d", reg, serials[reg])
+	}
+	return frameIRRd(strings.Join(lines, "\n"))
 }
 
 // frameIRRd wraps data in the irrd success framing.

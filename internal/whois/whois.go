@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpslyzer/internal/ir"
@@ -24,14 +25,27 @@ import (
 )
 
 // Server serves whois queries from an IRR database.
+//
+// Concurrency contract: the database lives behind an atomic pointer
+// that SetDB may swap at any time (the NRTM mirror loop does this
+// after every applied journal). Every query loads the pointer exactly
+// once and answers entirely from that immutable snapshot, so in-flight
+// queries finish on the database they started with while new queries
+// see the new one; there is no torn state and no locking on the query
+// path. Metrics, Logger, and SerialSource must be set before Listen;
+// everything else is safe from any goroutine.
 type Server struct {
-	DB *irr.Database
+	db atomic.Pointer[irr.Database]
 
 	// Metrics, when non-nil, records connection and query counters (set
 	// before Listen).
 	Metrics *Metrics
 	// Logger receives accept-loop diagnostics; nil means slog.Default.
 	Logger *slog.Logger
+	// SerialSource, when non-nil, reports the current NRTM serial per
+	// registry for the !j query (set before Listen; typically
+	// nrtm.Mirror.Serials).
+	SerialSource func() map[string]uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -40,7 +54,24 @@ type Server struct {
 }
 
 // NewServer creates a server over db.
-func NewServer(db *irr.Database) *Server { return &Server{DB: db} }
+func NewServer(db *irr.Database) *Server {
+	s := &Server{}
+	s.db.Store(db)
+	return s
+}
+
+// DB returns the database snapshot queries are currently answered
+// from. It is the single source of truth for the serving path.
+func (s *Server) DB() *irr.Database { return s.db.Load() }
+
+// SetDB atomically swaps the served database. In-flight queries keep
+// the snapshot they loaded; a nil db is ignored.
+func (s *Server) SetDB(db *irr.Database) {
+	if db == nil {
+		return
+	}
+	s.db.Store(db)
+}
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") and serves
 // connections until Close. It returns once the listener is ready.
@@ -169,46 +200,50 @@ func (s *Server) handle(conn io.ReadWriter) {
 //	!6AS64500            IPv6 prefixes originated by the AS
 //	!iAS-EXAMPLE         direct members of a set
 //	!iAS-EXAMPLE,1       recursively flattened members
+//	!j                   current mirror serial per registry
 func (s *Server) Query(q string) string {
+	// Load the snapshot once: the whole query is answered from it even
+	// if SetDB swaps mid-evaluation.
+	db := s.DB()
 	q = strings.TrimSpace(q)
 	if q == "" {
 		return "% error: empty query\n"
 	}
 	if strings.HasPrefix(q, "!") {
-		return s.queryIRRd(q)
+		return s.queryIRRd(db, q)
 	}
 	fields := strings.Fields(q)
 	if len(fields) >= 3 && fields[0] == "-i" && strings.EqualFold(fields[1], "origin") {
-		return s.queryOrigin(fields[2])
+		return s.queryOrigin(db, fields[2])
 	}
 	upper := strings.ToUpper(fields[0])
 	switch {
 	case ir.IsASN(upper):
-		return s.queryAutNum(upper)
+		return s.queryAutNum(db, upper)
 	case strings.Contains(upper, "/"):
-		return s.queryPrefix(upper)
+		return s.queryPrefix(db, upper)
 	case strings.Contains(upper, "-"):
-		return s.querySet(upper)
+		return s.querySet(db, upper)
 	default:
 		// A bare IP address: widen to covering route objects.
-		return s.queryAddress(upper)
+		return s.queryAddress(db, upper)
 	}
 }
 
-func (s *Server) queryAutNum(name string) string {
+func (s *Server) queryAutNum(db *irr.Database, name string) string {
 	asn, err := ir.ParseASN(name)
 	if err != nil {
 		return "% error: bad AS number\n"
 	}
-	an, ok := s.DB.AutNum(asn)
+	an, ok := db.AutNum(asn)
 	if !ok {
 		return fmt.Sprintf("%% no entries found for %s\n", name)
 	}
 	return RenderAutNum(an)
 }
 
-func (s *Server) querySet(name string) string {
-	x := s.DB.IR
+func (s *Server) querySet(db *irr.Database, name string) string {
+	x := db.IR
 	if set, ok := x.AsSets[name]; ok {
 		return RenderAsSet(set)
 	}
@@ -225,12 +260,12 @@ func (s *Server) querySet(name string) string {
 	return fmt.Sprintf("%% no entries found for %s\n", name)
 }
 
-func (s *Server) queryOrigin(asText string) string {
+func (s *Server) queryOrigin(db *irr.Database, asText string) string {
 	asn, err := ir.ParseASN(asText)
 	if err != nil {
 		return "% error: bad AS number\n"
 	}
-	tbl, ok := s.DB.RouteTable(asn)
+	tbl, ok := db.RouteTable(asn)
 	if !ok {
 		return fmt.Sprintf("%% no entries found for origin %s\n", asText)
 	}
@@ -241,12 +276,12 @@ func (s *Server) queryOrigin(asText string) string {
 	return b.String()
 }
 
-func (s *Server) queryPrefix(text string) string {
+func (s *Server) queryPrefix(db *irr.Database, text string) string {
 	p, err := prefix.Parse(text)
 	if err != nil {
 		return "% error: bad prefix\n"
 	}
-	origins := s.DB.OriginsOf(p)
+	origins := db.OriginsOf(p)
 	if len(origins) == 0 {
 		return fmt.Sprintf("%% no entries found for %s\n", text)
 	}
@@ -259,7 +294,7 @@ func (s *Server) queryPrefix(text string) string {
 	return b.String()
 }
 
-func (s *Server) queryAddress(text string) string {
+func (s *Server) queryAddress(db *irr.Database, text string) string {
 	addrPfx, err := prefix.Parse(text + "/32")
 	if err != nil {
 		if addrPfx, err = prefix.Parse(text + "/128"); err != nil {
@@ -270,7 +305,7 @@ func (s *Server) queryAddress(text string) string {
 	// not answer containment; a linear scan keeps the server simple).
 	var b strings.Builder
 	n := 0
-	for _, r := range s.DB.IR.Routes {
+	for _, r := range db.IR.Routes {
 		if r.Prefix.Covers(addrPfx) {
 			writeRoute(&b, r.Prefix, r.Origin)
 			n++

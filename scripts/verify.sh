@@ -10,6 +10,11 @@
 #      part of the contract, not an extra
 #   6. bench smoke — one iteration of the ingestion benchmark, written
 #      to BENCH_ingest.json so perf regressions leave a paper trail
+#   7. NRTM bench smoke — journal apply vs full reparse, written to
+#      BENCH_nrtm.json
+#   8. mirror smoke — generate a universe plus 3 evolution steps of
+#      journals, replay them with cmd/nrtm, and prove the mirrored
+#      database renders identically to the final snapshot's dumps
 #
 # Usage: scripts/verify.sh [package-pattern]   (default ./...)
 set -eu
@@ -39,5 +44,18 @@ go test -race "$pkgs"
 echo "== bench smoke (BenchmarkLoadDumpDir, 1x)"
 go test -run '^$' -bench '^BenchmarkLoadDumpDir$' -benchtime 1x -json . > BENCH_ingest.json
 grep -q '"Action":"pass"' BENCH_ingest.json
+
+echo "== NRTM bench smoke (BenchmarkApplyJournal vs BenchmarkFullReparse, 1x)"
+go test -run '^$' -bench '^(BenchmarkApplyJournal|BenchmarkFullReparse)$' -benchtime 1x -json . > BENCH_nrtm.json
+grep -q '"Action":"pass"' BENCH_nrtm.json
+
+echo "== mirror smoke (irrgen -evolve 3 + cmd/nrtm replay)"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/irrgen -out "$smoke" -ases 300 -seed 42 -evolve 3 > "$smoke/irrgen.out"
+go run ./cmd/nrtm -dumps "$smoke" -journals "$smoke/journals" -expect "$smoke/final" > "$smoke/nrtm.out"
+cat "$smoke/nrtm.out"
+grep -q "equivalence: OK" "$smoke/nrtm.out"
+grep -q "applied " "$smoke/nrtm.out"
 
 echo "verify: OK"
