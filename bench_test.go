@@ -534,3 +534,42 @@ func BenchmarkLint(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVerifyAll measures one full verification sweep over the
+// collector batch, comparing the compiled evaluation core against the
+// tree-walking interpreter it replaced (the -eval=interp escape
+// hatch). Each engine is warmed once so the numbers are steady-state:
+// program compilation and lazy as-set table builds land outside the
+// timed region.
+func BenchmarkVerifyAll(b *testing.B) {
+	f := getFixture(b)
+	for _, eval := range []string{"compiled", "interp"} {
+		b.Run(eval, func(b *testing.B) {
+			v := verify.New(f.sys.DB, f.sys.Rels, verify.Config{Eval: eval})
+			v.VerifyAll(f.routes[:min(len(f.routes), 1000)], 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reports := v.VerifyAll(f.routes, 0)
+				if len(reports) != len(f.routes) {
+					b.Fatal("missing reports")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOriginsOf measures exact-match origin lookup through the
+// radix LPM index across the collector batch's prefixes.
+func BenchmarkOriginsOf(b *testing.B) {
+	f := getFixture(b)
+	n := min(len(f.routes), 1024)
+	prefixes := make([]prefix.Prefix, n)
+	for i := 0; i < n; i++ {
+		prefixes[i] = f.routes[i].Prefix
+	}
+	db := f.sys.DB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.OriginsOf(prefixes[i%n])
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +38,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parse workers (0 = one per CPU, 1 = single worker)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -45,6 +49,31 @@ func main() {
 		os.Exit(2)
 	}
 	logger := telemetry.SetupLogger("rpslyzer", level)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			telemetry.Fatal("create CPU profile failed", "path", *cpuProf, "err", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			telemetry.Fatal("start CPU profile failed", "err", err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				telemetry.Fatal("create heap profile failed", "path", *memProf, "err", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				telemetry.Fatal("write heap profile failed", "err", err)
+			}
+		}()
+	}
 
 	reg := telemetry.Default()
 	if *metricsAddr != "" {

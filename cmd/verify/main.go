@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,9 +59,37 @@ func main() {
 		jsonOut   = flag.String("json", "", "write per-route reports as JSON lines to this file ('-' for stdout)")
 		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
 		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
+		evalMode  = flag.String("eval", "compiled", "evaluation engine: 'compiled' (precompiled policy programs) or 'interp' (tree-walking escape hatch)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	telemetry.SetupLogger("verify", nil)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			telemetry.Fatal("create CPU profile failed", "path", *cpuProf, "err", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			telemetry.Fatal("start CPU profile failed", "err", err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				telemetry.Fatal("create heap profile failed", "path", *memProf, "err", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				telemetry.Fatal("write heap profile failed", "err", err)
+			}
+		}()
+	}
 
 	x, _, err := core.LoadDumpDir(*dumps)
 	if err != nil {
@@ -71,6 +100,7 @@ func main() {
 		telemetry.Fatal("load relationships failed", "err", err)
 	}
 	_, verifier := core.BuildFromIR(x, rels, verify.Config{
+		Eval:             *evalMode,
 		SkipComplexRegex: *paperMode,
 		EnableRouteCache: *useCache,
 	})

@@ -132,7 +132,7 @@ func (db *Database) flattenAsSets() {
 			for _, asn := range s.MemberASNs {
 				agg.asns[asn] = struct{}{}
 			}
-			for _, asn := range db.asSetIndirect[name] {
+			for _, asn := range db.asSetIndirectOf(name) {
 				agg.asns[asn] = struct{}{}
 			}
 			for _, m := range s.MemberSets {
@@ -180,7 +180,11 @@ func (db *Database) flattenAsSets() {
 	for name, s := range sets {
 		flat[name].Recursive = len(s.MemberSets) > 0
 	}
-	db.flatAsSets = flat
+	out := make([]*FlatAsSet, 0, db.syms.AsSets.Len())
+	for name, f := range flat {
+		out = slicePut(out, db.syms.AsSets.Intern(name), f)
+	}
+	db.flatAsSets = out
 }
 
 // flattenRouteSets computes the prefix closure of every route-set.
@@ -226,14 +230,14 @@ func (db *Database) flattenRouteSets() {
 		selfLoop := false
 		for _, name := range scc {
 			s := sets[name]
-			agg.ranges = append(agg.ranges, db.routeSetIndirect[name]...)
+			agg.ranges = append(agg.ranges, db.routeSetIndirectOf(name)...)
 			for _, m := range s.Members {
 				switch m.Kind {
 				case ir.RSMemberPrefix:
 					agg.ranges = append(agg.ranges, m.Prefix)
 				case ir.RSMemberASN:
 					agg.origins[m.ASN] = struct{}{}
-					if t, ok := db.routesByOrigin[m.ASN]; ok {
+					if t := db.routeTableOf(m.ASN); t != nil {
 						for _, e := range t.Entries() {
 							agg.ranges = append(agg.ranges,
 								prefix.Range{Prefix: e.Prefix, Op: prefix.Compose(e.Op, m.Op)})
@@ -242,10 +246,10 @@ func (db *Database) flattenRouteSets() {
 				case ir.RSMemberSet:
 					// An as-set member contributes the route objects of
 					// its flattened member ASes.
-					if fa, ok := db.flatAsSets[m.Name]; ok {
+					if fa := db.flatAsSetOf(m.Name); fa != nil {
 						for asn := range fa.ASNs {
 							agg.origins[asn] = struct{}{}
-							if t, ok := db.routesByOrigin[asn]; ok {
+							if t := db.routeTableOf(asn); t != nil {
 								for _, e := range t.Entries() {
 									agg.ranges = append(agg.ranges,
 										prefix.Range{Prefix: e.Prefix, Op: prefix.Compose(e.Op, m.Op)})
@@ -294,5 +298,11 @@ func (db *Database) flattenRouteSets() {
 			}
 		}
 	}
-	db.flatRouteSets = flat
+	// Assign a fresh slice so snapshots sharing the old one are
+	// untouched (ReflattenRouteSets runs on clones).
+	out := make([]*FlatRouteSet, 0, db.syms.RouteSets.Len())
+	for name, f := range flat {
+		out = slicePut(out, db.syms.RouteSets.Intern(name), f)
+	}
+	db.flatRouteSets = out
 }

@@ -3,14 +3,23 @@
 // as-sets and route-sets (cycle-safe via strongly connected
 // components), members-by-reference resolution, and the set-graph
 // analysis behind the paper's as-set pathology census.
+//
+// Internally every index is keyed by dense symtab symbol IDs — set
+// names and origin ASNs are interned once at build time, and the hot
+// lookups (verify's filter matching, whois's origin queries) become
+// bounds-checked slice indexing instead of string/ASN hashing. The
+// reverse prefix→origins index is a persistent radix trie shared
+// structurally between copy-on-write snapshots.
 package irr
 
 import (
 	"slices"
+	"sort"
 	"sync"
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/symtab"
 )
 
 // Database wraps an IR with the indexes needed for interpretation.
@@ -18,36 +27,48 @@ import (
 type Database struct {
 	IR *ir.IR
 
-	// routesByOrigin maps each origin AS to its route-object prefixes.
-	routesByOrigin map[ir.ASN]*prefix.Table
+	// syms interns set names and ASNs to the dense IDs the slice
+	// indexes below are keyed by. It is append-only and shared between
+	// a database and its clones, so IDs are stable across snapshots;
+	// a slice lookup must bounds-check because the interner may have
+	// grown past what this snapshot indexed.
+	syms *symtab.Table
 
-	// prefixRoutes maps an exact prefix to the origins of its route
+	// routesByOrigin maps each origin AS (by ASN symbol ID) to its
+	// route-object prefixes. A nil entry means the AS never appears as
+	// an origin.
+	routesByOrigin []*prefix.Table
+
+	// routeTrie maps an exact prefix to the origins of its route
 	// objects (the paper's multi-origin analysis and the Export Self
 	// relaxation both need this reverse index) together with how many
 	// route objects (across sources) record each (prefix, origin) pair,
 	// which is what incremental removal needs to know when a pair truly
-	// leaves the indexes. One map serves both: snapshot clones copy the
-	// route indexes wholesale on every journal apply, so keeping the
-	// per-prefix state single halves that cost.
-	prefixRoutes map[prefix.Prefix]prefixOrigins
+	// leaves the indexes. The trie is persistent: clones share it by
+	// pointer and mutators swap in the root returned by Insert/Delete,
+	// and it doubles as the longest-prefix-match index behind the whois
+	// coverage queries.
+	routeTrie *prefix.Trie[prefixOrigins]
 
-	// asSetIndirect lists ASNs joined to each as-set via member-of +
-	// mbrs-by-ref; routeSetIndirect likewise for route objects.
-	asSetIndirect    map[string][]ir.ASN
-	routeSetIndirect map[string][]prefix.Range
+	// asSetIndirect lists ASNs joined to each as-set (by as-set symbol
+	// ID) via member-of + mbrs-by-ref; routeSetIndirect likewise for
+	// route objects, by route-set symbol ID.
+	asSetIndirect    [][]ir.ASN
+	routeSetIndirect [][]prefix.Range
 
-	// flatAsSets holds the flattened member ASNs of every as-set,
-	// computed once via SCC condensation.
-	flatAsSets map[string]*FlatAsSet
+	// flatAsSets holds the flattened member ASNs of every as-set (by
+	// as-set symbol ID), computed once via SCC condensation.
+	flatAsSets []*FlatAsSet
 
 	// flatRouteSets holds the flattened prefix ranges of every
-	// route-set.
-	flatRouteSets map[string]*FlatRouteSet
+	// route-set, by route-set symbol ID.
+	flatRouteSets []*FlatRouteSet
 
 	// asSetTables lazily materializes the merged route table of an
-	// as-set's flattened members (the hot path of filter matching).
+	// as-set's flattened members (the hot path of filter matching),
+	// keyed by as-set symbol ID.
 	mu          sync.Mutex
-	asSetTables map[string]*prefix.Table
+	asSetTables map[symtab.ID]*prefix.Table
 }
 
 // FlatAsSet is the flattened view of one as-set.
@@ -85,12 +106,11 @@ type FlatRouteSet struct {
 // New builds the indexed database from an IR.
 func New(x *ir.IR) *Database {
 	db := &Database{
-		IR:               x,
-		routesByOrigin:   make(map[ir.ASN]*prefix.Table),
-		asSetIndirect:    make(map[string][]ir.ASN),
-		routeSetIndirect: make(map[string][]prefix.Range),
-		asSetTables:      make(map[string]*prefix.Table),
+		IR:          x,
+		syms:        symtab.NewTable(),
+		asSetTables: make(map[symtab.ID]*prefix.Table),
 	}
+	db.internSymbols()
 	db.indexRoutes()
 	db.indexMembersByRef()
 	db.flattenAsSets()
@@ -98,7 +118,66 @@ func New(x *ir.IR) *Database {
 	return db
 }
 
-// prefixOrigins is the per-prefix record in prefixRoutes: the distinct
+// internSymbols assigns dense IDs to every set name and ASN in the IR,
+// in sorted order so a given IR always produces the same ID layout.
+func (db *Database) internSymbols() {
+	for _, name := range sortedMapKeys(db.IR.AsSets) {
+		db.syms.AsSets.Intern(name)
+	}
+	for _, name := range sortedMapKeys(db.IR.RouteSets) {
+		db.syms.RouteSets.Intern(name)
+	}
+	for _, name := range sortedMapKeys(db.IR.FilterSets) {
+		db.syms.FilterSets.Intern(name)
+	}
+	for _, name := range sortedMapKeys(db.IR.PeeringSets) {
+		db.syms.PeeringSets.Intern(name)
+	}
+	asns := make([]ir.ASN, 0, len(db.IR.AutNums))
+	for asn := range db.IR.AutNums {
+		asns = append(asns, asn)
+	}
+	slices.Sort(asns)
+	for _, asn := range asns {
+		db.syms.ASNs.Intern(uint32(asn))
+	}
+}
+
+func sortedMapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Symtab exposes the database's symbol table. Callers may intern
+// (interning is append-only and concurrency-safe) but typically only
+// Lookup, e.g. to pre-resolve a query name to an ID.
+func (db *Database) Symtab() *symtab.Table { return db.syms }
+
+// sliceAt is the bounds-checked lookup-table read: IDs past the end of
+// the slice (interned after this snapshot was indexed) read as zero.
+func sliceAt[T any](s []T, id symtab.ID) T {
+	if int(id) >= len(s) {
+		var zero T
+		return zero
+	}
+	return s[id]
+}
+
+// slicePut grows the table to cover id and stores v. Callers own the
+// slice (Clone copies the spines), so in-place writes are safe.
+func slicePut[T any](s []T, id symtab.ID, v T) []T {
+	if int(id) >= len(s) {
+		s = append(s, make([]T, int(id)+1-len(s))...)
+	}
+	s[id] = v
+	return s
+}
+
+// prefixOrigins is the per-prefix record in routeTrie: the distinct
 // origins of a prefix's route objects in first-seen order, with counts
 // parallel to origins giving each (prefix, origin) pair's route-object
 // multiplicity across sources. Values shared between snapshots are
@@ -109,12 +188,12 @@ type prefixOrigins struct {
 }
 
 // indexRoutes builds per-origin route tables and the per-prefix
-// origin/multiplicity index.
+// origin/multiplicity trie.
 func (db *Database) indexRoutes() {
 	byOrigin := make(map[ir.ASN][]prefix.Range)
-	db.prefixRoutes = make(map[prefix.Prefix]prefixOrigins)
+	var tr *prefix.Trie[prefixOrigins]
 	for _, r := range db.IR.Routes {
-		po := db.prefixRoutes[r.Prefix]
+		po, _ := tr.Get(r.Prefix)
 		if i := slices.Index(po.origins, r.Origin); i >= 0 {
 			po.counts[i]++ // fresh build: the backing array is unshared
 			continue
@@ -122,17 +201,64 @@ func (db *Database) indexRoutes() {
 		po.origins = append(po.origins, r.Origin)
 		po.counts = append(po.counts, 1)
 		byOrigin[r.Origin] = append(byOrigin[r.Origin], prefix.Range{Prefix: r.Prefix})
-		db.prefixRoutes[r.Prefix] = po
+		tr = tr.Insert(r.Prefix, po)
 	}
+	db.routeTrie = tr
 	for asn, ranges := range byOrigin {
-		db.routesByOrigin[asn] = prefix.NewTable(ranges)
+		db.setRouteTable(asn, prefix.NewTable(ranges))
 	}
+}
+
+// routeTableOf returns the per-origin table, or nil when the AS has no
+// route objects.
+func (db *Database) routeTableOf(asn ir.ASN) *prefix.Table {
+	id, ok := db.syms.ASNs.Lookup(uint32(asn))
+	if !ok {
+		return nil
+	}
+	return sliceAt(db.routesByOrigin, id)
+}
+
+func (db *Database) setRouteTable(asn ir.ASN, t *prefix.Table) {
+	id := db.syms.ASNs.Intern(uint32(asn))
+	db.routesByOrigin = slicePut(db.routesByOrigin, id, t)
 }
 
 // OriginsOf returns the origins of route objects registered for
 // exactly this prefix.
 func (db *Database) OriginsOf(p prefix.Prefix) []ir.ASN {
-	return db.prefixRoutes[p].origins
+	po, _ := db.routeTrie.Get(p)
+	return po.origins
+}
+
+// PrefixOrigins couples a registered prefix with the origins of its
+// route objects; it is the element the coverage queries return.
+type PrefixOrigins struct {
+	Prefix  prefix.Prefix
+	Origins []ir.ASN
+}
+
+// RoutesCovering returns every registered route prefix that covers p
+// (p itself and its less-specifics), shortest first, with the origins
+// of each. The walk is a single radix-trie descent.
+func (db *Database) RoutesCovering(p prefix.Prefix) []PrefixOrigins {
+	var out []PrefixOrigins
+	db.routeTrie.Covering(p, func(q prefix.Prefix, po prefixOrigins) bool {
+		out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
+		return true
+	})
+	return out
+}
+
+// RoutesCoveredBy returns every registered route prefix covered by p
+// (p itself and its more-specifics) in prefix order, with origins.
+func (db *Database) RoutesCoveredBy(p prefix.Prefix) []PrefixOrigins {
+	var out []PrefixOrigins
+	db.routeTrie.CoveredBy(p, func(q prefix.Prefix, po prefixOrigins) bool {
+		out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
+		return true
+	})
+	return out
 }
 
 // indexMembersByRef resolves "members by reference": an aut-num (or
@@ -145,7 +271,9 @@ func (db *Database) indexMembersByRef() {
 			if !ok || !mbrsByRefAllows(set.MbrsByRef, an.MntBys) {
 				continue
 			}
-			db.asSetIndirect[setName] = append(db.asSetIndirect[setName], asn)
+			id := db.syms.AsSets.Intern(setName)
+			db.asSetIndirect = slicePut(db.asSetIndirect, id,
+				append(sliceAt(db.asSetIndirect, id), asn))
 		}
 	}
 	for _, r := range db.IR.Routes {
@@ -154,10 +282,51 @@ func (db *Database) indexMembersByRef() {
 			if !ok || !mbrsByRefAllows(set.MbrsByRef, r.MntBys) {
 				continue
 			}
-			db.routeSetIndirect[setName] = append(db.routeSetIndirect[setName],
-				prefix.Range{Prefix: r.Prefix})
+			id := db.syms.RouteSets.Intern(setName)
+			db.routeSetIndirect = slicePut(db.routeSetIndirect, id,
+				append(sliceAt(db.routeSetIndirect, id), prefix.Range{Prefix: r.Prefix}))
 		}
 	}
+}
+
+// asSetIndirectOf returns the by-reference members of an as-set.
+func (db *Database) asSetIndirectOf(name string) []ir.ASN {
+	id, ok := db.syms.AsSets.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return sliceAt(db.asSetIndirect, id)
+}
+
+func (db *Database) setAsSetIndirect(name string, asns []ir.ASN) {
+	db.asSetIndirect = slicePut(db.asSetIndirect, db.syms.AsSets.Intern(name), asns)
+}
+
+// flatAsSetOf returns the flat view of an as-set, or nil when
+// unrecorded.
+func (db *Database) flatAsSetOf(name string) *FlatAsSet {
+	id, ok := db.syms.AsSets.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return sliceAt(db.flatAsSets, id)
+}
+
+func (db *Database) setFlatAsSet(name string, f *FlatAsSet) {
+	db.flatAsSets = slicePut(db.flatAsSets, db.syms.AsSets.Intern(name), f)
+}
+
+// routeSetIndirectOf returns the by-reference members of a route-set.
+func (db *Database) routeSetIndirectOf(name string) []prefix.Range {
+	id, ok := db.syms.RouteSets.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return sliceAt(db.routeSetIndirect, id)
+}
+
+func (db *Database) setRouteSetIndirect(name string, ranges []prefix.Range) {
+	db.routeSetIndirect = slicePut(db.routeSetIndirect, db.syms.RouteSets.Intern(name), ranges)
 }
 
 // mbrsByRefAllows implements the RFC 2622 membership-by-reference
@@ -186,20 +355,50 @@ func (db *Database) AutNum(asn ir.ASN) (*ir.AutNum, bool) {
 // originated by asn. The second result is false when the AS never
 // appears as an origin (a "zero-route AS" in the paper's terms).
 func (db *Database) RouteTable(asn ir.ASN) (*prefix.Table, bool) {
-	t, ok := db.routesByOrigin[asn]
-	return t, ok
+	t := db.routeTableOf(asn)
+	return t, t != nil
+}
+
+// AsSetID resolves an as-set name to its symbol ID without interning.
+func (db *Database) AsSetID(name string) (symtab.ID, bool) {
+	return db.syms.AsSets.Lookup(name)
 }
 
 // AsSet returns the flattened as-set, if recorded.
 func (db *Database) AsSet(name string) (*FlatAsSet, bool) {
-	f, ok := db.flatAsSets[name]
-	return f, ok
+	id, ok := db.syms.AsSets.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return db.AsSetByID(id)
+}
+
+// AsSetByID returns the flattened as-set for a symbol ID from AsSetID
+// or Symtab().AsSets.
+func (db *Database) AsSetByID(id symtab.ID) (*FlatAsSet, bool) {
+	f := sliceAt(db.flatAsSets, id)
+	return f, f != nil
+}
+
+// RouteSetID resolves a route-set name to its symbol ID without
+// interning.
+func (db *Database) RouteSetID(name string) (symtab.ID, bool) {
+	return db.syms.RouteSets.Lookup(name)
 }
 
 // RouteSet returns the flattened route-set, if recorded.
 func (db *Database) RouteSet(name string) (*FlatRouteSet, bool) {
-	f, ok := db.flatRouteSets[name]
-	return f, ok
+	id, ok := db.syms.RouteSets.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return db.RouteSetByID(id)
+}
+
+// RouteSetByID returns the flattened route-set for a symbol ID.
+func (db *Database) RouteSetByID(id symtab.ID) (*FlatRouteSet, bool) {
+	f := sliceAt(db.flatRouteSets, id)
+	return f, f != nil
 }
 
 // FilterSet returns the named filter-set object, if recorded.
@@ -217,7 +416,7 @@ func (db *Database) PeeringSet(name string) (*ir.PeeringSet, bool) {
 // AsSetContains implements asregex.Resolver: membership of asn in the
 // flattened as-set.
 func (db *Database) AsSetContains(name string, asn ir.ASN) (bool, bool) {
-	f, ok := db.flatAsSets[name]
+	f, ok := db.AsSet(name)
 	if !ok {
 		return false, false
 	}
@@ -229,22 +428,32 @@ func (db *Database) AsSetContains(name string, asn ir.ASN) (bool, bool) {
 // flattened members, materialized lazily and cached. ok is false when
 // the set is unrecorded.
 func (db *Database) AsSetPrefixTable(name string) (*prefix.Table, bool) {
-	f, ok := db.flatAsSets[name]
+	id, ok := db.syms.AsSets.Lookup(name)
 	if !ok {
+		return nil, false
+	}
+	return db.AsSetPrefixTableByID(id)
+}
+
+// AsSetPrefixTableByID is AsSetPrefixTable keyed by symbol ID; the
+// verifier's compile stage resolves names to IDs once and uses this.
+func (db *Database) AsSetPrefixTableByID(id symtab.ID) (*prefix.Table, bool) {
+	f := sliceAt(db.flatAsSets, id)
+	if f == nil {
 		return nil, false
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if t, cached := db.asSetTables[name]; cached {
+	if t, cached := db.asSetTables[id]; cached {
 		return t, true
 	}
 	var ranges []prefix.Range
 	for asn := range f.ASNs {
-		if t, ok := db.routesByOrigin[asn]; ok {
+		if t := db.routeTableOf(asn); t != nil {
 			ranges = append(ranges, t.Entries()...)
 		}
 	}
 	t := prefix.NewTable(ranges)
-	db.asSetTables[name] = t
+	db.asSetTables[id] = t
 	return t, true
 }

@@ -1,12 +1,12 @@
 package irr
 
 import (
-	"maps"
 	"slices"
 	"sort"
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/symtab"
 )
 
 // This file implements the incremental index maintenance the NRTM
@@ -15,29 +15,31 @@ import (
 // affected indexes are recomputed.
 //
 // The mutators follow a strict copy-on-write discipline: a Clone
-// shares all index maps' values (slices, tables, flat views) with its
-// parent, so a mutator must replace an entry with a freshly allocated
-// value rather than editing the shared one. Databases reachable by
-// readers are therefore never modified, which is what makes the
-// whoisd hot-swap race-free.
+// shares all index values (slices, tables, flat views, trie nodes)
+// with its parent, so a mutator must replace an entry with a freshly
+// allocated value rather than editing the shared one. Databases
+// reachable by readers are therefore never modified, which is what
+// makes the whoisd hot-swap race-free.
 
 // Clone returns a mutable snapshot of the database. The clone shares
-// every index value (slices, prefix tables, flat sets) with the
-// receiver; the incremental mutators below preserve that sharing by
-// replacing entries instead of editing them. The lazy as-set table
-// cache starts empty, since route mutations would invalidate it.
+// the symbol table (append-only, so IDs remain stable), the persistent
+// route trie, and every index value (slices, prefix tables, flat sets)
+// with the receiver; the incremental mutators below preserve that
+// sharing by replacing entries instead of editing them. The lazy
+// as-set table cache starts empty, since route mutations would
+// invalidate it.
 func (db *Database) Clone() *Database {
-	c := &Database{
+	return &Database{
 		IR:               db.IR.Clone(),
-		routesByOrigin:   maps.Clone(db.routesByOrigin),
-		prefixRoutes:     maps.Clone(db.prefixRoutes),
-		asSetIndirect:    maps.Clone(db.asSetIndirect),
-		routeSetIndirect: maps.Clone(db.routeSetIndirect),
-		flatAsSets:       maps.Clone(db.flatAsSets),
-		flatRouteSets:    maps.Clone(db.flatRouteSets),
-		asSetTables:      make(map[string]*prefix.Table),
+		syms:             db.syms,
+		routesByOrigin:   slices.Clone(db.routesByOrigin),
+		routeTrie:        db.routeTrie,
+		asSetIndirect:    slices.Clone(db.asSetIndirect),
+		routeSetIndirect: slices.Clone(db.routeSetIndirect),
+		flatAsSets:       slices.Clone(db.flatAsSets),
+		flatRouteSets:    slices.Clone(db.flatRouteSets),
+		asSetTables:      make(map[symtab.ID]*prefix.Table),
 	}
-	return c
 }
 
 // AddRoute records a new route object in the route indexes. The
@@ -45,28 +47,30 @@ func (db *Database) Clone() *Database {
 // Flattened route-sets are not updated; call ReflattenRouteSets once
 // after a batch of mutations.
 func (db *Database) AddRoute(r *ir.RouteObject) {
-	po := db.prefixRoutes[r.Prefix]
+	po, _ := db.routeTrie.Get(r.Prefix)
 	if i := slices.Index(po.origins, r.Origin); i >= 0 {
 		counts := slices.Clone(po.counts)
 		counts[i]++
-		db.prefixRoutes[r.Prefix] = prefixOrigins{origins: po.origins, counts: counts}
+		db.routeTrie = db.routeTrie.Insert(r.Prefix,
+			prefixOrigins{origins: po.origins, counts: counts})
 	} else {
 		var ranges []prefix.Range
-		if t, ok := db.routesByOrigin[r.Origin]; ok {
+		if t := db.routeTableOf(r.Origin); t != nil {
 			ranges = append(ranges, t.Entries()...)
 		}
 		ranges = append(ranges, prefix.Range{Prefix: r.Prefix})
-		db.routesByOrigin[r.Origin] = prefix.NewTable(ranges)
-		db.prefixRoutes[r.Prefix] = prefixOrigins{
+		db.setRouteTable(r.Origin, prefix.NewTable(ranges))
+		db.routeTrie = db.routeTrie.Insert(r.Prefix, prefixOrigins{
 			origins: append(slices.Clone(po.origins), r.Origin),
 			counts:  append(slices.Clone(po.counts), 1),
-		}
+		})
 	}
 	for _, setName := range r.MemberOfs {
 		set, ok := db.IR.RouteSets[setName]
 		if ok && mbrsByRefAllows(set.MbrsByRef, r.MntBys) {
-			db.routeSetIndirect[setName] = append(slices.Clone(db.routeSetIndirect[setName]),
-				prefix.Range{Prefix: r.Prefix})
+			db.setRouteSetIndirect(setName,
+				append(slices.Clone(db.routeSetIndirectOf(setName)),
+					prefix.Range{Prefix: r.Prefix}))
 		}
 	}
 	db.invalidateAsSetTables()
@@ -76,7 +80,7 @@ func (db *Database) AddRoute(r *ir.RouteObject) {
 // (prefix, origin) pair leaves the per-origin table and the reverse
 // index only when its last route object (across sources) is gone.
 func (db *Database) RemoveRoute(r *ir.RouteObject) {
-	po := db.prefixRoutes[r.Prefix]
+	po, _ := db.routeTrie.Get(r.Prefix)
 	i := slices.Index(po.origins, r.Origin)
 	if i < 0 {
 		return
@@ -84,11 +88,12 @@ func (db *Database) RemoveRoute(r *ir.RouteObject) {
 	if po.counts[i] > 1 {
 		counts := slices.Clone(po.counts)
 		counts[i]--
-		db.prefixRoutes[r.Prefix] = prefixOrigins{origins: po.origins, counts: counts}
+		db.routeTrie = db.routeTrie.Insert(r.Prefix,
+			prefixOrigins{origins: po.origins, counts: counts})
 	} else {
 		// Last route object for the (prefix, origin) pair: the pair
 		// leaves the per-origin table and the reverse index.
-		if t, ok := db.routesByOrigin[r.Origin]; ok {
+		if t := db.routeTableOf(r.Origin); t != nil {
 			var ranges []prefix.Range
 			for _, e := range t.Entries() {
 				if e.Prefix != r.Prefix {
@@ -96,13 +101,13 @@ func (db *Database) RemoveRoute(r *ir.RouteObject) {
 				}
 			}
 			if len(ranges) == 0 {
-				delete(db.routesByOrigin, r.Origin)
+				db.setRouteTable(r.Origin, nil)
 			} else {
-				db.routesByOrigin[r.Origin] = prefix.NewTable(ranges)
+				db.setRouteTable(r.Origin, prefix.NewTable(ranges))
 			}
 		}
 		if len(po.origins) == 1 {
-			delete(db.prefixRoutes, r.Prefix)
+			db.routeTrie = db.routeTrie.Delete(r.Prefix)
 		} else {
 			origins := make([]ir.ASN, 0, len(po.origins)-1)
 			counts := make([]int, 0, len(po.counts)-1)
@@ -112,7 +117,8 @@ func (db *Database) RemoveRoute(r *ir.RouteObject) {
 					counts = append(counts, po.counts[j])
 				}
 			}
-			db.prefixRoutes[r.Prefix] = prefixOrigins{origins: origins, counts: counts}
+			db.routeTrie = db.routeTrie.Insert(r.Prefix,
+				prefixOrigins{origins: origins, counts: counts})
 		}
 	}
 	for _, setName := range r.MemberOfs {
@@ -120,16 +126,16 @@ func (db *Database) RemoveRoute(r *ir.RouteObject) {
 		if !ok || !mbrsByRefAllows(set.MbrsByRef, r.MntBys) {
 			continue
 		}
-		old := db.routeSetIndirect[setName]
+		old := db.routeSetIndirectOf(setName)
 		for i, rg := range old {
 			if rg.Prefix == r.Prefix && rg.Op == prefix.NoOp {
 				fresh := make([]prefix.Range, 0, len(old)-1)
 				fresh = append(fresh, old[:i]...)
 				fresh = append(fresh, old[i+1:]...)
 				if len(fresh) == 0 {
-					delete(db.routeSetIndirect, setName)
+					db.setRouteSetIndirect(setName, nil)
 				} else {
-					db.routeSetIndirect[setName] = fresh
+					db.setRouteSetIndirect(setName, fresh)
 				}
 				break
 			}
@@ -151,16 +157,16 @@ func (db *Database) UpdateAutNumRefs(asn ir.ASN, oldAN, newAN *ir.AutNum) []stri
 			if !ok || !mbrsByRefAllows(set.MbrsByRef, oldAN.MntBys) {
 				continue
 			}
-			old := db.asSetIndirect[setName]
+			old := db.asSetIndirectOf(setName)
 			for i, a := range old {
 				if a == asn {
 					fresh := make([]ir.ASN, 0, len(old)-1)
 					fresh = append(fresh, old[:i]...)
 					fresh = append(fresh, old[i+1:]...)
 					if len(fresh) == 0 {
-						delete(db.asSetIndirect, setName)
+						db.setAsSetIndirect(setName, nil)
 					} else {
-						db.asSetIndirect[setName] = fresh
+						db.setAsSetIndirect(setName, fresh)
 					}
 					dirty[setName] = struct{}{}
 					break
@@ -174,7 +180,8 @@ func (db *Database) UpdateAutNumRefs(asn ir.ASN, oldAN, newAN *ir.AutNum) []stri
 			if !ok || !mbrsByRefAllows(set.MbrsByRef, newAN.MntBys) {
 				continue
 			}
-			db.asSetIndirect[setName] = append(slices.Clone(db.asSetIndirect[setName]), asn)
+			db.setAsSetIndirect(setName,
+				append(slices.Clone(db.asSetIndirectOf(setName)), asn))
 			dirty[setName] = struct{}{}
 		}
 	}
@@ -189,7 +196,7 @@ func (db *Database) UpdateAutNumRefs(asn ir.ASN, oldAN, newAN *ir.AutNum) []stri
 func (db *Database) ReindexAsSet(name string) {
 	set, ok := db.IR.AsSets[name]
 	if !ok {
-		delete(db.asSetIndirect, name)
+		db.setAsSetIndirect(name, nil)
 		return
 	}
 	var asns []ir.ASN
@@ -200,11 +207,7 @@ func (db *Database) ReindexAsSet(name string) {
 			}
 		}
 	}
-	if len(asns) == 0 {
-		delete(db.asSetIndirect, name)
-	} else {
-		db.asSetIndirect[name] = asns
-	}
+	db.setAsSetIndirect(name, asns)
 }
 
 // ReindexRouteSet rebuilds the members-by-reference entries of one
@@ -213,7 +216,7 @@ func (db *Database) ReindexAsSet(name string) {
 func (db *Database) ReindexRouteSet(name string) {
 	set, ok := db.IR.RouteSets[name]
 	if !ok {
-		delete(db.routeSetIndirect, name)
+		db.setRouteSetIndirect(name, nil)
 		return
 	}
 	var ranges []prefix.Range
@@ -224,11 +227,7 @@ func (db *Database) ReindexRouteSet(name string) {
 			}
 		}
 	}
-	if len(ranges) == 0 {
-		delete(db.routeSetIndirect, name)
-	} else {
-		db.routeSetIndirect[name] = ranges
-	}
+	db.setRouteSetIndirect(name, ranges)
 }
 
 // ReflattenAsSets recomputes the flattened views of the seed sets and
@@ -276,7 +275,7 @@ func (db *Database) ReflattenAsSets(seeds []string) {
 		if _, recorded := sets[n]; recorded {
 			nodes = append(nodes, n)
 		} else {
-			delete(db.flatAsSets, n)
+			db.setFlatAsSet(n, nil)
 		}
 	}
 	sort.Strings(nodes)
@@ -319,7 +318,7 @@ func (db *Database) ReflattenAsSets(seeds []string) {
 			for _, asn := range s.MemberASNs {
 				agg.asns[asn] = struct{}{}
 			}
-			for _, asn := range db.asSetIndirect[name] {
+			for _, asn := range db.asSetIndirectOf(name) {
 				agg.asns[asn] = struct{}{}
 			}
 			for _, m := range s.MemberSets {
@@ -330,7 +329,7 @@ func (db *Database) ReflattenAsSets(seeds []string) {
 				if _, aff := affected[m]; !aff {
 					// Unaffected member: its flat view is still valid and
 					// serves as a memoized leaf contribution.
-					child := db.flatAsSets[m]
+					child := db.flatAsSetOf(m)
 					for a := range child.ASNs {
 						agg.asns[a] = struct{}{}
 					}
@@ -362,14 +361,14 @@ func (db *Database) ReflattenAsSets(seeds []string) {
 		aggs[i] = agg
 		inLoop := len(scc) > 1 || selfLoop
 		for _, name := range scc {
-			db.flatAsSets[name] = &FlatAsSet{
+			db.setFlatAsSet(name, &FlatAsSet{
 				Name:       name,
 				ASNs:       agg.asns,
 				Unrecorded: sortedKeys(agg.unrecorded),
 				Depth:      agg.depth,
 				InLoop:     inLoop,
 				Recursive:  len(sets[name].MemberSets) > 0,
-			}
+			})
 		}
 	}
 	db.invalidateAsSetTables()
@@ -380,7 +379,7 @@ func (db *Database) ReflattenAsSets(seeds []string) {
 // tables and flattened as-sets, so any route or as-set change can
 // shift the closure; recomputing the whole (comparatively small)
 // route-set layer is simpler than tracking that dependency graph, and
-// it assigns a fresh map so shared snapshots are untouched.
+// it assigns a fresh slice so shared snapshots are untouched.
 func (db *Database) ReflattenRouteSets() {
 	db.flattenRouteSets()
 }
@@ -389,7 +388,7 @@ func (db *Database) ReflattenRouteSets() {
 // tables; route and flat-set mutations make them stale.
 func (db *Database) invalidateAsSetTables() {
 	db.mu.Lock()
-	db.asSetTables = make(map[string]*prefix.Table)
+	db.asSetTables = make(map[symtab.ID]*prefix.Table)
 	db.mu.Unlock()
 }
 

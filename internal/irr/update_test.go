@@ -9,20 +9,28 @@ import (
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/symtab"
 )
 
 // assertMatchesRebuild checks that an incrementally updated database
 // is semantically identical to a from-scratch New over the same IR.
-// The comparison is index-by-index rather than reflect.DeepEqual
-// because New produces nondeterministic slice orders (map iteration in
-// indexMembersByRef) and sharing-dependent capacities.
+// The indexes are keyed by symbol IDs that depend on intern order (a
+// rebuild starts a fresh symtab, an incrementally updated clone shares
+// its parent's), so the comparison projects both sides to by-name
+// views; it is per-entry rather than reflect.DeepEqual because New
+// also produces nondeterministic slice orders (map iteration in
+// indexMembersByRef) and sharing-dependent capacities. It also checks
+// the symbol-table and radix-trie structural invariants on both sides.
 func assertMatchesRebuild(t *testing.T, got *Database) {
 	t.Helper()
 	want := New(got.IR)
+	assertSymbolIndexes(t, "updated", got)
+	assertSymbolIndexes(t, "rebuilt", want)
 
-	assertSameKeys(t, "routesByOrigin", keysOf(got.routesByOrigin), keysOf(want.routesByOrigin))
-	for asn, wt := range want.routesByOrigin {
-		gt, ok := got.routesByOrigin[asn]
+	gotRBO, wantRBO := routesByOriginView(got), routesByOriginView(want)
+	assertSameKeys(t, "routesByOrigin", keysOf(gotRBO), keysOf(wantRBO))
+	for asn, wt := range wantRBO {
+		gt, ok := gotRBO[asn]
 		if !ok {
 			continue
 		}
@@ -31,30 +39,34 @@ func assertMatchesRebuild(t *testing.T, got *Database) {
 		}
 	}
 
-	assertSameKeys(t, "prefixRoutes", keysOf(got.prefixRoutes), keysOf(want.prefixRoutes))
-	for p, wo := range want.prefixRoutes {
-		if !sameOriginCounts(got.prefixRoutes[p], wo) {
-			t.Errorf("prefixRoutes[%v]: got %v, want %v", p, got.prefixRoutes[p], wo)
+	gotPR, wantPR := prefixRoutesView(got), prefixRoutesView(want)
+	assertSameKeys(t, "routeTrie", keysOf(gotPR), keysOf(wantPR))
+	for p, wo := range wantPR {
+		if !sameOriginCounts(gotPR[p], wo) {
+			t.Errorf("routeTrie[%v]: got %v, want %v", p, gotPR[p], wo)
 		}
 	}
 
-	assertSameKeys(t, "asSetIndirect", keysOf(got.asSetIndirect), keysOf(want.asSetIndirect))
-	for name, wa := range want.asSetIndirect {
-		if !sameASNMultiset(got.asSetIndirect[name], wa) {
-			t.Errorf("asSetIndirect[%s]: got %v, want %v", name, got.asSetIndirect[name], wa)
+	gotASI, wantASI := asSetIndirectView(got), asSetIndirectView(want)
+	assertSameKeys(t, "asSetIndirect", keysOf(gotASI), keysOf(wantASI))
+	for name, wa := range wantASI {
+		if !sameASNMultiset(gotASI[name], wa) {
+			t.Errorf("asSetIndirect[%s]: got %v, want %v", name, gotASI[name], wa)
 		}
 	}
 
-	assertSameKeys(t, "routeSetIndirect", keysOf(got.routeSetIndirect), keysOf(want.routeSetIndirect))
-	for name, wr := range want.routeSetIndirect {
-		if !sameRangeMultiset(got.routeSetIndirect[name], wr) {
-			t.Errorf("routeSetIndirect[%s]: got %v, want %v", name, got.routeSetIndirect[name], wr)
+	gotRSI, wantRSI := routeSetIndirectView(got), routeSetIndirectView(want)
+	assertSameKeys(t, "routeSetIndirect", keysOf(gotRSI), keysOf(wantRSI))
+	for name, wr := range wantRSI {
+		if !sameRangeMultiset(gotRSI[name], wr) {
+			t.Errorf("routeSetIndirect[%s]: got %v, want %v", name, gotRSI[name], wr)
 		}
 	}
 
-	assertSameKeys(t, "flatAsSets", keysOf(got.flatAsSets), keysOf(want.flatAsSets))
-	for name, wf := range want.flatAsSets {
-		gf, ok := got.flatAsSets[name]
+	gotFAS, wantFAS := flatAsSetsView(got), flatAsSetsView(want)
+	assertSameKeys(t, "flatAsSets", keysOf(gotFAS), keysOf(wantFAS))
+	for name, wf := range wantFAS {
+		gf, ok := gotFAS[name]
 		if !ok {
 			continue
 		}
@@ -70,9 +82,10 @@ func assertMatchesRebuild(t *testing.T, got *Database) {
 		}
 	}
 
-	assertSameKeys(t, "flatRouteSets", keysOf(got.flatRouteSets), keysOf(want.flatRouteSets))
-	for name, wf := range want.flatRouteSets {
-		gf, ok := got.flatRouteSets[name]
+	gotFRS, wantFRS := flatRouteSetsView(got), flatRouteSetsView(want)
+	assertSameKeys(t, "flatRouteSets", keysOf(gotFRS), keysOf(wantFRS))
+	for name, wf := range wantFRS {
+		gf, ok := gotFRS[name]
 		if !ok {
 			continue
 		}
@@ -98,6 +111,131 @@ func keysOf[K comparable, V any](m map[K]V) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// The *View helpers project the symbol-ID-keyed slice indexes and the
+// radix trie back to by-name maps so that databases with differently
+// laid-out symbol tables (an incremental clone vs a fresh rebuild) can
+// be compared.
+
+func routesByOriginView(db *Database) map[ir.ASN]*prefix.Table {
+	out := make(map[ir.ASN]*prefix.Table)
+	for id, t := range db.routesByOrigin {
+		if t != nil {
+			out[ir.ASN(db.syms.ASNs.Key(symtab.ID(id)))] = t
+		}
+	}
+	return out
+}
+
+func prefixRoutesView(db *Database) map[prefix.Prefix]prefixOrigins {
+	out := make(map[prefix.Prefix]prefixOrigins)
+	db.routeTrie.Walk(func(p prefix.Prefix, po prefixOrigins) bool {
+		out[p] = po
+		return true
+	})
+	return out
+}
+
+func asSetIndirectView(db *Database) map[string][]ir.ASN {
+	out := make(map[string][]ir.ASN)
+	for id, asns := range db.asSetIndirect {
+		if len(asns) > 0 {
+			out[db.syms.AsSets.Name(symtab.ID(id))] = asns
+		}
+	}
+	return out
+}
+
+func routeSetIndirectView(db *Database) map[string][]prefix.Range {
+	out := make(map[string][]prefix.Range)
+	for id, rs := range db.routeSetIndirect {
+		if len(rs) > 0 {
+			out[db.syms.RouteSets.Name(symtab.ID(id))] = rs
+		}
+	}
+	return out
+}
+
+func flatAsSetsView(db *Database) map[string]*FlatAsSet {
+	out := make(map[string]*FlatAsSet)
+	for id, f := range db.flatAsSets {
+		if f != nil {
+			out[db.syms.AsSets.Name(symtab.ID(id))] = f
+		}
+	}
+	return out
+}
+
+func flatRouteSetsView(db *Database) map[string]*FlatRouteSet {
+	out := make(map[string]*FlatRouteSet)
+	for id, f := range db.flatRouteSets {
+		if f != nil {
+			out[db.syms.RouteSets.Name(symtab.ID(id))] = f
+		}
+	}
+	return out
+}
+
+// assertSymbolIndexes checks the structural invariants tying the
+// slice-backed indexes and the radix trie to the symbol table: no
+// index extends past the interned ID range, every flat view sits in
+// the slot of its own name's ID, and the trie is sorted and
+// multiplicity-consistent.
+func assertSymbolIndexes(t *testing.T, label string, db *Database) {
+	t.Helper()
+	if len(db.routesByOrigin) > db.syms.ASNs.Len() {
+		t.Errorf("%s: routesByOrigin has %d slots, only %d ASNs interned",
+			label, len(db.routesByOrigin), db.syms.ASNs.Len())
+	}
+	if len(db.asSetIndirect) > db.syms.AsSets.Len() || len(db.flatAsSets) > db.syms.AsSets.Len() {
+		t.Errorf("%s: as-set indexes extend past %d interned names", label, db.syms.AsSets.Len())
+	}
+	if len(db.routeSetIndirect) > db.syms.RouteSets.Len() || len(db.flatRouteSets) > db.syms.RouteSets.Len() {
+		t.Errorf("%s: route-set indexes extend past %d interned names", label, db.syms.RouteSets.Len())
+	}
+	for id, f := range db.flatAsSets {
+		if f != nil && f.Name != db.syms.AsSets.Name(symtab.ID(id)) {
+			t.Errorf("%s: flatAsSets[%d] holds %q, slot belongs to %q",
+				label, id, f.Name, db.syms.AsSets.Name(symtab.ID(id)))
+		}
+	}
+	for id, f := range db.flatRouteSets {
+		if f != nil && f.Name != db.syms.RouteSets.Name(symtab.ID(id)) {
+			t.Errorf("%s: flatRouteSets[%d] holds %q, slot belongs to %q",
+				label, id, f.Name, db.syms.RouteSets.Name(symtab.ID(id)))
+		}
+	}
+	n := 0
+	var prev prefix.Prefix
+	db.routeTrie.Walk(func(p prefix.Prefix, po prefixOrigins) bool {
+		if n > 0 && prev.Compare(p) >= 0 {
+			t.Errorf("%s: routeTrie walk not strictly sorted: %v then %v", label, prev, p)
+		}
+		prev = p
+		n++
+		if len(po.origins) == 0 || len(po.origins) != len(po.counts) {
+			t.Errorf("%s: routeTrie[%v] malformed origins/counts: %v/%v",
+				label, p, po.origins, po.counts)
+		}
+		seen := make(map[ir.ASN]bool)
+		for i, o := range po.origins {
+			if po.counts[i] < 1 {
+				t.Errorf("%s: routeTrie[%v] count %d for AS%d", label, p, po.counts[i], o)
+			}
+			if seen[o] {
+				t.Errorf("%s: routeTrie[%v] duplicate origin AS%d", label, p, o)
+			}
+			seen[o] = true
+		}
+		if got := db.OriginsOf(p); !slices.Equal(got, po.origins) {
+			t.Errorf("%s: OriginsOf(%v) = %v, trie has %v", label, p, got, po.origins)
+		}
+		return true
+	})
+	if n != db.routeTrie.Len() {
+		t.Errorf("%s: routeTrie.Len() = %d, walk visited %d", label, db.routeTrie.Len(), n)
+	}
 }
 
 func assertSameKeys(t *testing.T, label string, got, want []string) {

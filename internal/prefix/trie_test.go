@@ -1,0 +1,232 @@
+package prefix
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+)
+
+func trieFrom(ps ...string) *Trie[int] {
+	var t *Trie[int]
+	for i, s := range ps {
+		t = t.Insert(MustParse(s), i)
+	}
+	return t
+}
+
+func collect(t *Trie[int]) []string {
+	var out []string
+	t.Walk(func(p Prefix, _ int) bool {
+		out = append(out, p.String())
+		return true
+	})
+	return out
+}
+
+func TestTrieInsertGet(t *testing.T) {
+	tr := trieFrom("10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16", "192.0.2.0/24", "2001:db8::/32")
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	for i, s := range []string{"10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16", "192.0.2.0/24", "2001:db8::/32"} {
+		v, ok := tr.Get(MustParse(s))
+		if !ok || v != i {
+			t.Fatalf("Get(%s) = %d,%v; want %d,true", s, v, ok, i)
+		}
+	}
+	for _, s := range []string{"10.0.0.0/24", "11.0.0.0/8", "10.0.0.0/9", "2001:db8::/48"} {
+		if _, ok := tr.Get(MustParse(s)); ok {
+			t.Fatalf("Get(%s) succeeded for absent prefix", s)
+		}
+	}
+}
+
+func TestTrieInsertReplaces(t *testing.T) {
+	tr := trieFrom("10.0.0.0/8")
+	tr2 := tr.Insert(MustParse("10.0.0.0/8"), 99)
+	if tr2.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tr2.Len())
+	}
+	if v, _ := tr2.Get(MustParse("10.0.0.0/8")); v != 99 {
+		t.Fatalf("replaced value = %d, want 99", v)
+	}
+	if v, _ := tr.Get(MustParse("10.0.0.0/8")); v != 0 {
+		t.Fatalf("persistence violated: original trie sees %d", v)
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := trieFrom("10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/16")
+	tr2 := tr.Delete(MustParse("10.0.0.0/16"))
+	if tr2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr2.Len())
+	}
+	if _, ok := tr2.Get(MustParse("10.0.0.0/16")); ok {
+		t.Fatal("deleted prefix still present")
+	}
+	if _, ok := tr.Get(MustParse("10.0.0.0/16")); !ok {
+		t.Fatal("persistence violated: original trie lost entry")
+	}
+	// Deleting an absent prefix returns the receiver unchanged.
+	if tr3 := tr2.Delete(MustParse("172.16.0.0/12")); tr3 != tr2 {
+		t.Fatal("delete of absent prefix did not return the receiver")
+	}
+	// Deleting down to empty.
+	empty := tr2.Delete(MustParse("10.0.0.0/8")).Delete(MustParse("10.128.0.0/16"))
+	if empty.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all, want 0", empty.Len())
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	tr := trieFrom("2001:db8::/32", "192.0.2.0/24", "10.0.0.0/16", "10.0.0.0/8", "172.16.0.0/12")
+	got := collect(tr)
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "172.16.0.0/12", "192.0.2.0/24", "2001:db8::/32"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk returned %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	tr := trieFrom("10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24", "10.0.1.0/24")
+	var got []string
+	tr.Covering(MustParse("10.0.0.0/24"), func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "10.0.0.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("Covering = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Covering = %v, want %v", got, want)
+		}
+	}
+	got = nil
+	tr.Covering(MustParse("10.0.1.5/32"), func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want = []string{"10.0.0.0/8", "10.0.0.0/16", "10.0.1.0/24"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("Covering = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrieCoveredBy(t *testing.T) {
+	tr := trieFrom("10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8")
+	var got []string
+	tr.CoveredBy(MustParse("10.0.0.0/8"), func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16", "10.1.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("CoveredBy = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CoveredBy = %v, want %v", got, want)
+		}
+	}
+	got = nil
+	tr.CoveredBy(MustParse("10.1.0.0/16"), func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "10.1.0.0/16" || got[1] != "10.1.2.0/24" {
+		t.Fatalf("CoveredBy(10.1.0.0/16) = %v", got)
+	}
+}
+
+// TestTrieAgainstMap drives random inserts and deletes and compares the
+// trie against a plain map plus sorted-slice reference after every
+// operation, exercising branch creation and pass-through splicing.
+func TestTrieAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[Prefix]int)
+	var tr *Trie[int]
+	randPrefix := func() Prefix {
+		if rng.Intn(4) == 0 {
+			var b [16]byte
+			b[0] = 0x20
+			b[1] = 0x01
+			rng.Read(b[2:6])
+			bits := 16 + rng.Intn(49)
+			p, _ := netip.AddrFrom16(b).Prefix(bits)
+			return Prefix{p}
+		}
+		var b [4]byte
+		rng.Read(b[:])
+		b[0] = byte(10 + rng.Intn(4)) // dense space to force shared paths
+		bits := 8 + rng.Intn(25)
+		p, _ := netip.AddrFrom4(b).Prefix(bits)
+		return Prefix{p}
+	}
+	for step := 0; step < 4000; step++ {
+		p := randPrefix()
+		if rng.Intn(3) == 0 {
+			tr = tr.Delete(p)
+			delete(ref, p)
+		} else {
+			tr = tr.Insert(p, step)
+			ref[p] = step
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, map has %d", step, tr.Len(), len(ref))
+		}
+	}
+	var want []Prefix
+	for p := range ref {
+		want = append(want, p)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Compare(want[j]) < 0 })
+	var got []Prefix
+	tr.Walk(func(p Prefix, v int) bool {
+		if ref[p] != v {
+			t.Fatalf("value mismatch at %s: trie %d, map %d", p, v, ref[p])
+		}
+		got = append(got, p)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Walk visited %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Compare(want[i]) != 0 {
+			t.Fatalf("Walk order diverges at %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+	// Spot-check Covering against brute force.
+	for i := 0; i < 200; i++ {
+		q := randPrefix()
+		var fromTrie []Prefix
+		tr.Covering(q, func(p Prefix, _ int) bool {
+			fromTrie = append(fromTrie, p)
+			return true
+		})
+		var brute []Prefix
+		for _, p := range want {
+			if p.Covers(q) {
+				brute = append(brute, p)
+			}
+		}
+		if len(fromTrie) != len(brute) {
+			t.Fatalf("Covering(%s): trie %v, brute %v", q, fromTrie, brute)
+		}
+		for j := range brute {
+			if fromTrie[j].Compare(brute[j]) != 0 {
+				t.Fatalf("Covering(%s): trie %v, brute %v", q, fromTrie, brute)
+			}
+		}
+	}
+}

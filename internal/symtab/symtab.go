@@ -1,0 +1,163 @@
+// Package symtab provides concurrent-safe interners that map the
+// sparse identifier spaces of RPSL — as-set/route-set/filter-set/
+// peering-set names and 32-bit AS numbers — onto dense uint32 symbol
+// IDs. Dense IDs let the layers above (internal/irr, internal/verify)
+// replace string- and ASN-keyed maps with slice-backed lookup tables:
+// a symbol resolved once (at index build or policy compile time) is a
+// bounds-checked array index ever after, which is what keeps per-route
+// verification cost flat at the paper's 779 M-route scale.
+//
+// IDs are assigned in first-intern order, starting at 0, and are never
+// reused or reassigned; an interner only grows. Copy-on-write database
+// snapshots therefore share one interner: symbols minted by a newer
+// snapshot are simply out of range for the slice tables of an older
+// one, which every lookup guards with a bounds check.
+package symtab
+
+import (
+	"sync"
+)
+
+// ID is a dense symbol identifier. IDs are small consecutive integers,
+// so a []T indexed by ID is the natural lookup table.
+type ID = uint32
+
+// None is returned by Lookup misses alongside ok=false. It is a valid
+// ID (0 is assigned to the first interned symbol), so callers must
+// branch on ok, not on the value.
+const None ID = 0
+
+// Interner interns strings. The zero value is not ready; use
+// NewInterner. All methods are safe for concurrent use.
+type Interner struct {
+	mu    sync.RWMutex
+	ids   map[string]ID
+	names []string
+}
+
+// NewInterner returns an empty string interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]ID)}
+}
+
+// Intern returns the ID for name, assigning the next dense ID on first
+// sight.
+func (in *Interner) Intern(name string) ID {
+	in.mu.RLock()
+	id, ok := in.ids[name]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id = ID(len(in.names))
+	in.ids[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the ID for name without interning it.
+func (in *Interner) Lookup(name string) (ID, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[name]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the string for an ID. It panics on an ID never handed
+// out, like any out-of-range index.
+func (in *Interner) Name(id ID) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.names[id]
+}
+
+// Len returns how many symbols have been interned. IDs handed out so
+// far are exactly [0, Len).
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
+
+// U32Interner interns uint32 keys (AS numbers). The zero value is not
+// ready; use NewU32Interner. All methods are safe for concurrent use.
+type U32Interner struct {
+	mu   sync.RWMutex
+	ids  map[uint32]ID
+	keys []uint32
+}
+
+// NewU32Interner returns an empty uint32 interner.
+func NewU32Interner() *U32Interner {
+	return &U32Interner{ids: make(map[uint32]ID)}
+}
+
+// Intern returns the ID for key, assigning the next dense ID on first
+// sight.
+func (in *U32Interner) Intern(key uint32) ID {
+	in.mu.RLock()
+	id, ok := in.ids[key]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id = ID(len(in.keys))
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	return id
+}
+
+// Lookup returns the ID for key without interning it.
+func (in *U32Interner) Lookup(key uint32) (ID, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[key]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Key returns the uint32 for an ID.
+func (in *U32Interner) Key(id ID) uint32 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.keys[id]
+}
+
+// Len returns how many keys have been interned.
+func (in *U32Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.keys)
+}
+
+// Table bundles one interner per RPSL namespace. Set classes have
+// disjoint name conventions but not disjoint name spaces (nothing
+// stops a route-set named like an as-set), so each class gets its own
+// ID space.
+type Table struct {
+	AsSets      *Interner
+	RouteSets   *Interner
+	FilterSets  *Interner
+	PeeringSets *Interner
+	ASNs        *U32Interner
+}
+
+// NewTable returns a Table with all namespaces empty.
+func NewTable() *Table {
+	return &Table{
+		AsSets:      NewInterner(),
+		RouteSets:   NewInterner(),
+		FilterSets:  NewInterner(),
+		PeeringSets: NewInterner(),
+		ASNs:        NewU32Interner(),
+	}
+}

@@ -1,0 +1,113 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("AS-ALPHA")
+	b := in.Intern("AS-BETA")
+	a2 := in.Intern("AS-ALPHA")
+	if a != 0 || b != 1 {
+		t.Fatalf("expected dense IDs 0,1; got %d,%d", a, b)
+	}
+	if a2 != a {
+		t.Fatalf("re-intern changed ID: %d vs %d", a2, a)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if got := in.Name(b); got != "AS-BETA" {
+		t.Fatalf("Name(%d) = %q", b, got)
+	}
+	if id, ok := in.Lookup("AS-BETA"); !ok || id != b {
+		t.Fatalf("Lookup = %d,%v", id, ok)
+	}
+	if _, ok := in.Lookup("AS-GAMMA"); ok {
+		t.Fatal("Lookup of never-interned name succeeded")
+	}
+}
+
+func TestU32InternerDenseIDs(t *testing.T) {
+	in := NewU32Interner()
+	a := in.Intern(64500)
+	b := in.Intern(64501)
+	if a != 0 || b != 1 {
+		t.Fatalf("expected dense IDs 0,1; got %d,%d", a, b)
+	}
+	if in.Intern(64500) != a {
+		t.Fatal("re-intern changed ID")
+	}
+	if got := in.Key(a); got != 64500 {
+		t.Fatalf("Key(%d) = %d", a, got)
+	}
+	if _, ok := in.Lookup(64999); ok {
+		t.Fatal("Lookup of never-interned key succeeded")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+}
+
+// TestInternerConcurrent hammers one interner from many goroutines and
+// checks that every name maps to exactly one stable ID and the ID
+// space stays dense.
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const goroutines = 8
+	const names = 200
+	var wg sync.WaitGroup
+	got := make([][]ID, goroutines)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]ID, names)
+			for i := 0; i < names; i++ {
+				ids[i] = in.Intern(fmt.Sprintf("AS-SET-%d", i))
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	if in.Len() != names {
+		t.Fatalf("Len = %d, want %d", in.Len(), names)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < names; i++ {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw ID %d for name %d, goroutine 0 saw %d",
+					g, got[g][i], i, got[0][i])
+			}
+		}
+	}
+	seen := make(map[ID]bool)
+	for i := 0; i < names; i++ {
+		id := got[0][i]
+		if int(id) >= names {
+			t.Fatalf("ID %d out of dense range", id)
+		}
+		if seen[id] {
+			t.Fatalf("ID %d assigned twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTableNamespacesAreDisjoint(t *testing.T) {
+	tab := NewTable()
+	a := tab.AsSets.Intern("AS-X")
+	r := tab.RouteSets.Intern("RS-X")
+	if a != 0 || r != 0 {
+		t.Fatalf("expected each namespace to start at 0; got %d,%d", a, r)
+	}
+	if _, ok := tab.RouteSets.Lookup("AS-X"); ok {
+		t.Fatal("as-set name leaked into route-set namespace")
+	}
+	if tab.FilterSets.Len() != 0 || tab.PeeringSets.Len() != 0 || tab.ASNs.Len() != 0 {
+		t.Fatal("unused namespaces not empty")
+	}
+}

@@ -30,6 +30,11 @@ type evalCtx struct {
 	// communities carries the route's observed community attributes
 	// for the optional community-interpretation mode.
 	communities []bgpsim.Community
+	// scratch is a reusable reason accumulator for the compiled
+	// engine; execAutNum appends into it and dedupReasons copies out,
+	// so the buffer (and its grown capacity) survives across the
+	// checks of a route.
+	scratch []Reason
 }
 
 // triState is the outcome of pure filter evaluation.

@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"rpslyzer/internal/ir"
+)
+
+// program returns the compiled program for an aut-num, compiling and
+// caching it on first use. Concurrent first uses may compile twice;
+// LoadOrStore keeps exactly one program, and programs are pure, so the
+// duplicate work is harmless.
+func (v *Verifier) program(an *ir.AutNum) *autnumProg {
+	if p, ok := v.progCache.Load(an); ok {
+		v.metrics.programCacheHit()
+		return p.(*autnumProg)
+	}
+	p := v.compileAutNum(an)
+	if actual, loaded := v.progCache.LoadOrStore(an, p); loaded {
+		return actual.(*autnumProg)
+	}
+	v.metrics.programCompiled(v.progCount.Add(1))
+	return p
+}
+
+// execAutNum runs the aut-num's compiled rule programs for the check
+// direction, mirroring the interpreter's rule loop: earliest status on
+// the ladder wins, Verified short-circuits, diagnostics accumulate.
+func (v *Verifier) execAutNum(an *ir.AutNum, ctx *evalCtx) (Status, []Reason) {
+	prog := v.program(an)
+	progs := prog.imports
+	if ctx.dir == ir.DirExport {
+		progs = prog.exports
+	}
+	sp := v.metrics.programSpan()
+	best := Unverified
+	// Accumulate into the context's scratch buffer: dedupReasons
+	// copies out, so the buffer is reused check after check.
+	reasons := ctx.scratch[:0]
+	for _, rp := range progs {
+		st, rs := rp(ctx)
+		if st < best {
+			best = st
+			if st == Verified {
+				sp.End()
+				return Verified, nil
+			}
+		}
+		reasons = append(reasons, rs...)
+	}
+	ctx.scratch = reasons
+	sp.End()
+	return best, reasons
+}
+
+// interpRules is the tree-walking equivalent of execAutNum, kept as
+// the Config.Eval == "interp" escape hatch and as the reference
+// implementation for the differential tests.
+func (v *Verifier) interpRules(rules []ir.Rule, ctx *evalCtx) (Status, []Reason) {
+	best := Unverified
+	var reasons []Reason
+	for i := range rules {
+		st, rs := v.evalRule(&rules[i], ctx)
+		if st < best {
+			best = st
+			if st == Verified {
+				return Verified, nil
+			}
+		}
+		reasons = append(reasons, rs...)
+	}
+	return best, reasons
+}

@@ -24,6 +24,15 @@ type Metrics struct {
 	// verification latencies.
 	RouteSeconds *telemetry.Histogram
 	CheckSeconds *telemetry.Histogram
+	// ProgramsCompiled counts aut-num rule programs compiled by the
+	// evaluation core; ProgramCacheHits counts checks served from the
+	// program cache; ProgramCacheSize is the resident program count.
+	ProgramsCompiled *telemetry.Counter
+	ProgramCacheHits *telemetry.Counter
+	ProgramCacheSize *telemetry.Gauge
+	// ProgramSeconds is the compiled-program execution latency of one
+	// check's rule loop.
+	ProgramSeconds *telemetry.Histogram
 }
 
 // NewMetrics registers the verifier metrics in reg (the default
@@ -49,6 +58,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Whole-route verification latency.", nil),
 		CheckSeconds: reg.Histogram("rpslyzer_verify_check_seconds",
 			"Per-check verification latency.", nil),
+		ProgramsCompiled: reg.Counter("rpslyzer_verify_programs_compiled_total",
+			"Aut-num rule programs compiled."),
+		ProgramCacheHits: reg.Counter("rpslyzer_verify_program_cache_hits_total",
+			"Checks served from the compiled-program cache."),
+		ProgramCacheSize: reg.Gauge("rpslyzer_verify_program_cache_size",
+			"Compiled aut-num programs resident in the cache."),
+		ProgramSeconds: reg.Histogram("rpslyzer_verify_program_exec_seconds",
+			"Compiled-program execution latency per check.", nil),
 	}
 }
 
@@ -101,4 +118,26 @@ func (m *Metrics) cacheMiss() {
 		return
 	}
 	m.CacheMisses.Inc()
+}
+
+func (m *Metrics) programCompiled(size int64) {
+	if m == nil {
+		return
+	}
+	m.ProgramsCompiled.Inc()
+	m.ProgramCacheSize.Set(size)
+}
+
+func (m *Metrics) programCacheHit() {
+	if m == nil {
+		return
+	}
+	m.ProgramCacheHits.Inc()
+}
+
+func (m *Metrics) programSpan() telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.ProgramSeconds)
 }

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"runtime"
+	"slices"
 	"sync"
 
 	"rpslyzer/internal/asrel"
@@ -79,6 +80,13 @@ func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
 		return rep
 	}
 	origin := path[len(path)-1]
+	// One context serves every check of the route: evalCheck copies
+	// everything it keeps out of it (dedupReasons), so mutating the
+	// pair fields between checks is safe and avoids per-check
+	// allocations.
+	ctx := &evalCtx{
+		pfx: route.Prefix, origin: origin, communities: route.Communities,
+	}
 	// Walk pairs from the origin side: exporter path[i+1] hands the
 	// route to importer path[i].
 	for i := len(path) - 2; i >= 0; i-- {
@@ -91,17 +99,11 @@ func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
 		// Filters (in particular AS-path regexes) match the AS-path as
 		// it stands at this hop: the path the exporter announces,
 		// starting at the exporter and ending at the origin.
-		hopPath := path[i+1:]
-		expCheck := v.check(&evalCtx{
-			pfx: route.Prefix, path: hopPath, origin: origin,
-			self: exporter, peer: importer, dir: ir.DirExport, prevAS: prevAS,
-			communities: route.Communities,
-		})
-		impCheck := v.check(&evalCtx{
-			pfx: route.Prefix, path: hopPath, origin: origin,
-			self: importer, peer: exporter, dir: ir.DirImport, prevAS: exporter,
-			communities: route.Communities,
-		})
+		ctx.path = path[i+1:]
+		ctx.self, ctx.peer, ctx.dir, ctx.prevAS = exporter, importer, ir.DirExport, prevAS
+		expCheck := v.check(ctx)
+		ctx.self, ctx.peer, ctx.dir, ctx.prevAS = importer, exporter, ir.DirImport, exporter
+		impCheck := v.check(ctx)
 		rep.Checks = append(rep.Checks, expCheck, impCheck)
 	}
 	return rep
@@ -145,18 +147,16 @@ func (v *Verifier) evalCheck(ctx *evalCtx) Check {
 		return c
 	}
 
-	best := Unverified
+	var best Status
 	var reasons []Reason
-	for i := range rules {
-		st, rs := v.evalRule(&rules[i], ctx)
-		if st < best {
-			best = st
-			if st == Verified {
-				c.Status = Verified
-				return c
-			}
-		}
-		reasons = append(reasons, rs...)
+	if v.useInterp {
+		best, reasons = v.interpRules(rules, ctx)
+	} else {
+		best, reasons = v.execAutNum(an, ctx)
+	}
+	if best == Verified {
+		c.Status = Verified
+		return c
 	}
 	// Safelist checks only improve on Unverified (the ladder places
 	// them after Relaxed).
@@ -234,11 +234,18 @@ func dedupePrepends(p []ir.ASN) []ir.ASN {
 }
 
 // dedupReasons sorts reasons deterministically and removes duplicates
-// in place (map-free: this runs once per check on the hot path).
+// (map-free: this runs once per check on the hot path). It always
+// copies out of its input: compiled programs return slices aliasing
+// either shared compile-time constants (which must never be mutated)
+// or the context's scratch buffer (which the next check overwrites).
 func dedupReasons(rs []Reason) []Reason {
-	if len(rs) <= 1 {
-		return rs
+	switch len(rs) {
+	case 0:
+		return nil
+	case 1:
+		return []Reason{rs[0]}
 	}
+	rs = slices.Clone(rs)
 	sortReasons(rs)
 	out := rs[:1]
 	for _, r := range rs[1:] {

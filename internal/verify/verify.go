@@ -196,6 +196,14 @@ func (c Check) String() string {
 
 // Config tunes the verifier.
 type Config struct {
+	// Eval selects the evaluation engine. "compiled" (the default)
+	// lowers each aut-num's rules once into flat predicate programs —
+	// set references resolved to flattened tables, filter-sets
+	// inlined, regexes compiled — and executes those; "interp" walks
+	// the ir policy trees directly on every check (the pre-compilation
+	// evaluator, kept as an escape hatch and differential-testing
+	// reference). Both engines produce identical reports.
+	Eval string
 	// SkipComplexRegex makes the verifier skip rules whose AS-path
 	// regexes use ASN ranges or same-pattern operators, exactly
 	// matching the paper's published behaviour (Appendix B leaves them
@@ -226,6 +234,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Eval == "" {
+		c.Eval = "compiled"
+	}
 	if c.MaxFilterSetDepth == 0 {
 		c.MaxFilterSetDepth = 10
 	}
@@ -239,9 +250,17 @@ type Verifier struct {
 	Rels *asrel.Database
 	cfg  Config
 
+	// useInterp selects the tree-walking evaluator (Config.Eval).
+	useInterp bool
+
 	// onlyProviderPolicies precomputes the ASes whose rules only name
 	// their providers (Section 5.1.2).
 	onlyProviderPolicies map[ir.ASN]bool
+
+	// progCache memoizes compiled per-aut-num rule programs; progCount
+	// tracks its size for the cache-size gauge.
+	progCache sync.Map // *ir.AutNum -> *autnumProg
+	progCount atomic.Int64
 
 	// regexCache memoizes compiled AS-path regexes.
 	regexMu    sync.RWMutex
@@ -269,6 +288,7 @@ func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
 		DB:         db,
 		Rels:       rels,
 		cfg:        cfg,
+		useInterp:  cfg.Eval == "interp",
 		regexCache: make(map[*ir.PathRegex]*asregex.Regex),
 		coneCache:  make(map[ir.ASN]map[ir.ASN]bool),
 	}

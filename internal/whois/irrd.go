@@ -7,6 +7,7 @@ import (
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
+	"rpslyzer/internal/prefix"
 )
 
 // queryIRRd answers irrd-protocol short commands. Responses follow the
@@ -42,6 +43,12 @@ func (s *Server) queryIRRd(db *irr.Database, q string) string {
 			arg = name
 		}
 		name := strings.ToUpper(arg)
+		// Membership goes through the symbol table: an interned ID is
+		// the canonical "recorded" test, and the flattened closure is a
+		// dense-slice lookup behind it.
+		if _, interned := db.AsSetID(name); !interned {
+			return "D\n"
+		}
 		if recursive {
 			flat, ok := db.AsSet(name)
 			if !ok {
@@ -71,12 +78,62 @@ func (s *Server) queryIRRd(db *irr.Database, q string) string {
 			return "D\n"
 		}
 		return frameIRRd(strings.Join(members, " "))
+	case strings.HasPrefix(q, "!r"):
+		return s.queryRoutes(db, strings.TrimSpace(q[2:]))
 	case strings.HasPrefix(q, "!j"):
 		return s.querySerials(strings.TrimSpace(q[2:]))
 	case q == "!!":
 		return "A0\n\nC\n" // persistent-connection handshake; accepted, unused
 	}
 	return "F unrecognized command\n"
+}
+
+// queryRoutes answers "!r<prefix>[,<option>]", the irrd route-search
+// command, entirely from the database's radix LPM index:
+//
+//	!r192.0.2.0/24      exact-match route objects
+//	!r192.0.2.0/24,o    origin ASNs of exact-match routes
+//	!r192.0.2.0/24,L    all less-specific (covering) routes, including exact
+//	!r192.0.2.0/24,M    all more-specific (covered) routes, including exact
+func (s *Server) queryRoutes(db *irr.Database, arg string) string {
+	opt := ""
+	if pfxText, o, found := strings.Cut(arg, ","); found {
+		arg, opt = pfxText, strings.TrimSpace(o)
+	}
+	p, err := prefix.Parse(strings.TrimSpace(arg))
+	if err != nil {
+		return "F bad prefix\n"
+	}
+	var pos []irr.PrefixOrigins
+	switch opt {
+	case "":
+		if origins := db.OriginsOf(p); len(origins) > 0 {
+			pos = []irr.PrefixOrigins{{Prefix: p, Origins: origins}}
+		}
+	case "o":
+		origins := append([]ir.ASN(nil), db.OriginsOf(p)...)
+		if len(origins) == 0 {
+			return "D\n"
+		}
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		parts := make([]string, len(origins))
+		for i, o := range origins {
+			parts[i] = o.String()
+		}
+		return frameIRRd(strings.Join(parts, " "))
+	case "L":
+		pos = db.RoutesCovering(p)
+	case "M":
+		pos = db.RoutesCoveredBy(p)
+	default:
+		return "F bad route-search option\n"
+	}
+	if len(pos) == 0 {
+		return "D\n"
+	}
+	var b strings.Builder
+	writePrefixOrigins(&b, pos)
+	return frameIRRd(strings.TrimSuffix(b.String(), "\n"))
 }
 
 // querySerials answers "!j": the current mirror serial per registry,

@@ -200,6 +200,7 @@ func (s *Server) handle(conn io.ReadWriter) {
 //	!6AS64500            IPv6 prefixes originated by the AS
 //	!iAS-EXAMPLE         direct members of a set
 //	!iAS-EXAMPLE,1       recursively flattened members
+//	!r192.0.2.0/24       route search (,o ,L ,M options; see queryRoutes)
 //	!j                   current mirror serial per registry
 func (s *Server) Query(q string) string {
 	// Load the snapshot once: the whole query is answered from it even
@@ -301,20 +302,27 @@ func (s *Server) queryAddress(db *irr.Database, text string) string {
 			return "% error: unrecognized query\n"
 		}
 	}
-	// Scan route objects for covering prefixes (exact-match index does
-	// not answer containment; a linear scan keeps the server simple).
-	var b strings.Builder
-	n := 0
-	for _, r := range db.IR.Routes {
-		if r.Prefix.Covers(addrPfx) {
-			writeRoute(&b, r.Prefix, r.Origin)
-			n++
-		}
-	}
-	if n == 0 {
+	// The radix index answers containment in one root-to-leaf descent,
+	// shortest (least specific) covering prefix first.
+	covering := db.RoutesCovering(addrPfx)
+	if len(covering) == 0 {
 		return fmt.Sprintf("%% no entries found for %s\n", text)
 	}
+	var b strings.Builder
+	writePrefixOrigins(&b, covering)
 	return b.String()
+}
+
+// writePrefixOrigins renders radix-index results as route objects,
+// origins sorted per prefix for deterministic output.
+func writePrefixOrigins(b *strings.Builder, pos []irr.PrefixOrigins) {
+	for _, po := range pos {
+		origins := append([]ir.ASN(nil), po.Origins...)
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		for _, o := range origins {
+			writeRoute(b, po.Prefix, o)
+		}
+	}
 }
 
 func writeRoute(b *strings.Builder, p prefix.Prefix, origin ir.ASN) {

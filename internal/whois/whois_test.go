@@ -200,3 +200,111 @@ func TestIRRdSetQueries(t *testing.T) {
 		t.Error("!! handshake should be accepted")
 	}
 }
+
+// routeSearchIRR has nested prefixes and a multi-origin prefix to
+// exercise the radix-index route search.
+const routeSearchIRR = `
+route: 10.0.0.0/8
+origin: AS100
+source: RADB
+
+route: 10.1.0.0/16
+origin: AS200
+source: RADB
+
+route: 10.1.0.0/16
+origin: AS300
+source: RADB
+
+route: 10.1.2.0/24
+origin: AS200
+source: RADB
+
+route: 192.0.2.0/24
+origin: AS400
+source: RADB
+`
+
+func newRouteSearchServer(t *testing.T) *Server {
+	t.Helper()
+	b := parser.NewBuilder()
+	b.AddDump(rpsl.NewReader(strings.NewReader(routeSearchIRR), "RADB"))
+	return NewServer(irr.New(b.IR))
+}
+
+func TestIRRdRouteSearchExact(t *testing.T) {
+	s := newRouteSearchServer(t)
+	resp := s.Query("!r10.1.0.0/16")
+	if !strings.HasPrefix(resp, "A") ||
+		!strings.Contains(resp, "origin:         AS200") ||
+		!strings.Contains(resp, "origin:         AS300") {
+		t.Fatalf("!r exact = %q", resp)
+	}
+	if strings.Contains(resp, "10.0.0.0/8") || strings.Contains(resp, "10.1.2.0/24") {
+		t.Fatalf("!r exact leaked non-exact routes: %q", resp)
+	}
+	if got := s.Query("!r10.9.0.0/16"); got != "D\n" {
+		t.Fatalf("!r miss = %q", got)
+	}
+}
+
+func TestIRRdRouteSearchOrigins(t *testing.T) {
+	s := newRouteSearchServer(t)
+	resp := s.Query("!r10.1.0.0/16,o")
+	if !strings.Contains(resp, "AS200 AS300") {
+		t.Fatalf("!r,o = %q", resp)
+	}
+}
+
+func TestIRRdRouteSearchCovering(t *testing.T) {
+	s := newRouteSearchServer(t)
+	resp := s.Query("!r10.1.2.0/24,L")
+	// Less-specific search walks the radix path: /8, /16, and the
+	// exact /24, shortest first.
+	i8 := strings.Index(resp, "10.0.0.0/8")
+	i16 := strings.Index(resp, "10.1.0.0/16")
+	i24 := strings.Index(resp, "10.1.2.0/24")
+	if i8 < 0 || i16 < 0 || i24 < 0 || !(i8 < i16 && i16 < i24) {
+		t.Fatalf("!r,L = %q", resp)
+	}
+}
+
+func TestIRRdRouteSearchMoreSpecific(t *testing.T) {
+	s := newRouteSearchServer(t)
+	resp := s.Query("!r10.0.0.0/8,M")
+	if !strings.Contains(resp, "10.0.0.0/8") ||
+		!strings.Contains(resp, "10.1.0.0/16") ||
+		!strings.Contains(resp, "10.1.2.0/24") {
+		t.Fatalf("!r,M = %q", resp)
+	}
+	if strings.Contains(resp, "192.0.2.0/24") {
+		t.Fatalf("!r,M leaked unrelated route: %q", resp)
+	}
+}
+
+func TestIRRdRouteSearchErrors(t *testing.T) {
+	s := newRouteSearchServer(t)
+	if got := s.Query("!rnot-a-prefix"); !strings.HasPrefix(got, "F ") {
+		t.Fatalf("bad prefix = %q", got)
+	}
+	if got := s.Query("!r10.0.0.0/8,Z"); !strings.HasPrefix(got, "F ") {
+		t.Fatalf("bad option = %q", got)
+	}
+}
+
+func TestQueryAddressUsesRadixIndex(t *testing.T) {
+	s := newRouteSearchServer(t)
+	resp := s.Query("10.1.2.3")
+	// All covering routes, least specific first, origins sorted.
+	i8 := strings.Index(resp, "10.0.0.0/8")
+	i16 := strings.Index(resp, "10.1.0.0/16")
+	i24 := strings.Index(resp, "10.1.2.0/24")
+	if i8 < 0 || i16 < 0 || i24 < 0 || !(i8 < i16 && i16 < i24) {
+		t.Fatalf("address query = %q", resp)
+	}
+	a200 := strings.Index(resp, "origin:         AS200")
+	a300 := strings.Index(resp, "origin:         AS300")
+	if a200 < 0 || a300 < 0 || a200 > a300 {
+		t.Fatalf("origins not sorted: %q", resp)
+	}
+}

@@ -12,7 +12,9 @@
 #      to BENCH_ingest.json so perf regressions leave a paper trail
 #   7. NRTM bench smoke — journal apply vs full reparse, written to
 #      BENCH_nrtm.json
-#   8. mirror smoke — generate a universe plus 3 evolution steps of
+#   8. verify bench smoke — compiled vs interpreted VerifyAll plus the
+#      radix OriginsOf lookup, written to BENCH_verify.json
+#   9. mirror smoke — generate a universe plus 3 evolution steps of
 #      journals, replay them with cmd/nrtm, and prove the mirrored
 #      database renders identically to the final snapshot's dumps
 #
@@ -48,6 +50,10 @@ grep -q '"Action":"pass"' BENCH_ingest.json
 echo "== NRTM bench smoke (BenchmarkApplyJournal vs BenchmarkFullReparse, 1x)"
 go test -run '^$' -bench '^(BenchmarkApplyJournal|BenchmarkFullReparse)$' -benchtime 1x -json . > BENCH_nrtm.json
 grep -q '"Action":"pass"' BENCH_nrtm.json
+
+echo "== verify bench smoke (BenchmarkVerifyAll compiled+interp, BenchmarkOriginsOf, 1x)"
+go test -run '^$' -bench '^(BenchmarkVerifyAll|BenchmarkOriginsOf)$' -benchtime 1x -json . > BENCH_verify.json
+grep -q '"Action":"pass"' BENCH_verify.json
 
 echo "== mirror smoke (irrgen -evolve 3 + cmd/nrtm replay)"
 smoke=$(mktemp -d)
