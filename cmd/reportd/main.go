@@ -1,0 +1,187 @@
+// Command reportd serves verification reports over HTTP: it loads IRR
+// dumps, an AS-relationship file, and a BGP route dump, verifies every
+// route, indexes the per-check results into an immutable snapshot, and
+// answers operator queries (per-AS reports, originated routes,
+// filtered report pages, reverse lookups) from an LRU-cached JSON API.
+//
+// With -import it skips verification and serves a report file written
+// by `verify -json`. With -mirror it watches an NRTM journal
+// directory: after each applied journal the database moves forward,
+// the routes are re-verified against it, and the finished snapshot is
+// hot-swapped in — queries never block on a rebuild, and the swap
+// count is exported as report_store_swaps_total.
+//
+// Usage:
+//
+//	reportd -dumps data/ -rels data/as-rel.txt -routes data/routes.txt -listen 127.0.0.1:8080
+//	reportd -import reports.json -listen 127.0.0.1:8080
+//	reportd -dumps data/ -rels data/as-rel.txt -routes data/routes.txt -mirror data/journals
+//	curl http://127.0.0.1:8080/v1/summary
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rpslyzer/internal/api"
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/nrtm"
+	"rpslyzer/internal/report"
+	"rpslyzer/internal/reportstore"
+	"rpslyzer/internal/telemetry"
+	"rpslyzer/internal/verify"
+)
+
+func main() {
+	var (
+		dumps          = flag.String("dumps", "data", "directory with *.db IRR dumps")
+		relsPath       = flag.String("rels", "data/as-rel.txt", "CAIDA-format AS relationship file")
+		routesPath     = flag.String("routes", "data/routes.txt", "BGP route dump file")
+		importPath     = flag.String("import", "", "serve this `verify -json` report file instead of verifying")
+		listen         = flag.String("listen", "127.0.0.1:8080", "API listen address")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
+		cacheEntries   = flag.Int("cache-entries", 8192, "response cache capacity (entries; negative disables)")
+		pageSize       = flag.Int("page-size", 100, "default page length")
+		evalMode       = flag.String("eval", "compiled", "evaluation engine: 'compiled' or 'interp'")
+		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals; rebuild and hot-swap the store after each applied journal")
+		mirrorInterval = flag.Duration("mirror-interval", 2*time.Second, "journal directory poll interval for -mirror")
+	)
+	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := telemetry.SetupLogger("reportd", level)
+
+	reg := telemetry.Default()
+	if *metricsAddr != "" {
+		ms, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)
+		}
+		defer ms.Close()
+		logger.Info("metrics endpoint listening", "addr", ms.Addr().String())
+	}
+
+	storeMetrics := reportstore.NewMetrics(reg)
+	store := reportstore.New(storeMetrics)
+	vcfg := verify.Config{Eval: *evalMode}
+
+	var (
+		rels   *asrel.Database
+		routes []bgpsim.Route
+	)
+	// Pure import mode needs nothing but the report file; everything
+	// else (fresh verification, mirror rebuilds) needs the full corpus.
+	needCorpus := *importPath == "" || *mirrorDir != ""
+	if needCorpus {
+		if rels, err = core.LoadRels(*relsPath); err != nil {
+			telemetry.Fatal("load relationships failed", "err", err)
+		}
+		if routes, err = core.LoadRoutes(*routesPath); err != nil {
+			telemetry.Fatal("load routes failed", "err", err)
+		}
+	}
+
+	// rebuild verifies the route corpus against db and publishes the
+	// snapshot — the initial build and every mirror-driven refresh.
+	rebuild := func(db *irr.Database) {
+		t0 := time.Now()
+		v := verify.New(db, rels, vcfg)
+		v.SetMetrics(verify.NewMetrics(reg))
+		b := reportstore.NewBuilder()
+		v.VerifyStream(routes, *workers, b.Add)
+		snap := b.Build()
+		if storeMetrics != nil {
+			storeMetrics.BuildSeconds.ObserveSince(t0)
+		}
+		serial := store.Swap(snap)
+		logger.Info("store swapped", "serial", serial,
+			"routes", snap.NumRoutes(), "checks", snap.NumChecks(),
+			"build", time.Since(t0).Round(time.Millisecond))
+	}
+
+	var db *irr.Database
+	if needCorpus {
+		x, _, err := core.LoadDumpDir(*dumps)
+		if err != nil {
+			telemetry.Fatal("load dumps failed", "err", err)
+		}
+		db = irr.New(x)
+	}
+
+	if *importPath != "" {
+		f, err := os.Open(*importPath)
+		if err != nil {
+			telemetry.Fatal("open import failed", "path", *importPath, "err", err)
+		}
+		b := reportstore.NewBuilder()
+		err = report.ReadJSONL(f, b.Add)
+		f.Close()
+		if err != nil {
+			telemetry.Fatal("import failed", "path", *importPath, "err", err)
+		}
+		snap := b.Build()
+		store.Swap(snap)
+		logger.Info("imported reports", "path", *importPath,
+			"routes", snap.NumRoutes(), "checks", snap.NumChecks())
+	} else {
+		rebuild(db)
+	}
+
+	var stopMirror chan struct{}
+	if *mirrorDir != "" {
+		mir := nrtm.NewMirrorDB(db, nil, nrtm.NewMetrics(reg))
+		stopMirror = make(chan struct{})
+		dumpDir := *dumps
+		go nrtm.Poll(mir, nrtm.PollConfig{
+			JournalDir: *mirrorDir,
+			Interval:   *mirrorInterval,
+			Logger:     logger,
+			Reload: func() (*ir.IR, error) {
+				x, _, err := core.LoadDumpDir(dumpDir)
+				return x, err
+			},
+			OnSwap: rebuild,
+		}, stopMirror)
+	}
+
+	srv := api.NewServer(store, api.Config{
+		CacheEntries: *cacheEntries,
+		PageSize:     *pageSize,
+	}, api.NewMetrics(reg))
+	if err := srv.Listen(*listen); err != nil {
+		telemetry.Fatal("listen failed", "addr", *listen, "err", err)
+	}
+	snap := store.Current()
+	logger.Info("serving",
+		"addr", srv.Addr().String(), "ases", len(snap.ASNs()),
+		"routes", snap.NumRoutes(), "checks", snap.NumChecks())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if stopMirror != nil {
+		close(stopMirror)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		telemetry.Fatal("shutdown failed", "err", err)
+	}
+	logger.Info("drained and stopped")
+}

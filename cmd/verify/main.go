@@ -22,31 +22,10 @@ import (
 
 	"rpslyzer/internal/bgpsim"
 	"rpslyzer/internal/core"
-	"rpslyzer/internal/ir"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/verify"
 )
-
-// jsonRouteReport is the JSON-lines record for one route.
-type jsonRouteReport struct {
-	Prefix  string         `json:"prefix"`
-	Path    []uint32       `json:"path"`
-	Ignored string         `json:"ignored,omitempty"`
-	Checks  []verify.Check `json:"checks,omitempty"`
-}
-
-func jsonReport(rep verify.RouteReport) jsonRouteReport {
-	out := jsonRouteReport{
-		Prefix:  rep.Route.Prefix.String(),
-		Ignored: rep.Ignored,
-		Checks:  rep.Checks,
-	}
-	for _, a := range rep.Route.Path {
-		out.Path = append(out.Path, uint32(ir.ASN(a)))
-	}
-	return out
-}
 
 func main() {
 	var (
@@ -56,7 +35,7 @@ func main() {
 		oneRoute  = flag.String("route", "", "verify a single 'prefix|asn asn ...' route instead")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
 		printRep  = flag.Bool("report", false, "print per-hop reports")
-		jsonOut   = flag.String("json", "", "write per-route reports as JSON lines to this file ('-' for stdout)")
+		jsonOut   = flag.String("json", "", "write per-route reports as JSON lines to this file ('-' for stdout; importable by reportd -import)")
 		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
 		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
 		evalMode  = flag.String("eval", "compiled", "evaluation engine: 'compiled' (precompiled policy programs) or 'interp' (tree-walking escape hatch)")
@@ -137,7 +116,7 @@ func main() {
 			rep := verifier.VerifyRoute(r)
 			agg.Add(rep)
 			if jsonEnc != nil {
-				if err := jsonEnc.Encode(jsonReport(rep)); err != nil {
+				if err := jsonEnc.Encode(report.ToJSON(rep)); err != nil {
 					telemetry.Fatal("JSON encode failed", "err", err)
 				}
 			}

@@ -13,19 +13,15 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/parser"
@@ -75,7 +71,17 @@ func main() {
 		mir := nrtm.NewMirrorDB(srv.DB(), nil, nrtm.NewMetrics(reg))
 		srv.SerialSource = mir.Serials
 		stopMirror = make(chan struct{})
-		go mirrorLoop(srv, mir, *dumps, *mirrorDir, *mirrorInterval, logger, stopMirror)
+		dumpDir := *dumps
+		go nrtm.Poll(mir, nrtm.PollConfig{
+			JournalDir: *mirrorDir,
+			Interval:   *mirrorInterval,
+			Logger:     logger,
+			Reload: func() (*ir.IR, error) {
+				x, _, err := core.LoadDumpDir(dumpDir)
+				return x, err
+			},
+			OnSwap: srv.SetDB,
+		}, stopMirror)
 	}
 
 	if err := srv.Listen(*listen); err != nil {
@@ -93,109 +99,4 @@ func main() {
 	if err := srv.Close(); err != nil {
 		telemetry.Fatal("shutdown failed", "err", err)
 	}
-}
-
-// mirrorLoop polls dir for journal files and applies new ones in
-// lexical order (irrgen names them <step>.<registry>.nrtm, so that is
-// serial order), hot-swapping the server's database after every
-// applied journal. A serial gap or corrupt journal triggers a full
-// resync from the dump directory followed by a replay of every
-// journal on disk.
-func mirrorLoop(srv *whois.Server, mir *nrtm.Mirror, dumpDir, dir string,
-	interval time.Duration, logger *slog.Logger, stop <-chan struct{}) {
-	applied := make(map[string]bool)
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-stop:
-			return
-		case <-t.C:
-		}
-		names, err := journalNames(dir)
-		if err != nil {
-			logger.Warn("mirror: journal dir unreadable", "dir", dir, "err", err)
-			continue
-		}
-		for _, name := range names {
-			if applied[name] {
-				continue
-			}
-			if err := applyOne(srv, mir, filepath.Join(dir, name), logger); err != nil {
-				logger.Warn("mirror: apply failed; full resync", "journal", name, "err", err)
-				if err := resync(srv, mir, dumpDir, dir, applied, logger); err != nil {
-					logger.Error("mirror: resync failed", "err", err)
-				}
-				break
-			}
-			applied[name] = true
-		}
-	}
-}
-
-// journalNames lists *.nrtm files in lexical (= replay) order.
-func journalNames(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".nrtm") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-func applyOne(srv *whois.Server, mir *nrtm.Mirror, path string, logger *slog.Logger) error {
-	j, err := nrtm.ReadJournalFile(path)
-	if err != nil {
-		return err
-	}
-	if err := mir.Apply(j); err != nil {
-		return err
-	}
-	srv.SetDB(mir.DB())
-	logger.Info("mirror: applied journal",
-		"registry", j.Registry, "serials", fmt.Sprintf("%d-%d", j.First, j.Last), "ops", len(j.Ops))
-	return nil
-}
-
-// resync reloads the full dumps, resets the mirror, and replays every
-// journal currently on disk from serial 1.
-func resync(srv *whois.Server, mir *nrtm.Mirror, dumpDir, dir string,
-	applied map[string]bool, logger *slog.Logger) error {
-	x, _, err := core.LoadDumpDir(dumpDir)
-	if err != nil {
-		return err
-	}
-	mir.Resync(x, nil)
-	srv.SetDB(mir.DB())
-	for name := range applied {
-		delete(applied, name)
-	}
-	names, err := journalNames(dir)
-	if err != nil {
-		return err
-	}
-	var firstErr error
-	for _, name := range names {
-		// Mark every journal handled whether or not it lands: ones
-		// behind the fresh dumps report gaps by design, and retrying
-		// them next tick would force a resync per poll forever. A
-		// journal skipped here that becomes applicable later (its
-		// predecessor arrives out of order) is recovered by the next
-		// resync, which clears the map and replays the directory.
-		applied[name] = true
-		if err := applyOne(srv, mir, filepath.Join(dir, name), logger); err != nil {
-			var gap *nrtm.SerialGapError
-			if !errors.As(err, &gap) && firstErr == nil {
-				firstErr = err
-			}
-		}
-	}
-	logger.Info("mirror: resynced", "resyncs", mir.Resyncs())
-	return firstErr
 }

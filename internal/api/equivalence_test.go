@@ -1,0 +1,134 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/report"
+	"rpslyzer/internal/reportstore"
+	"rpslyzer/internal/verify"
+)
+
+var (
+	eqOnce sync.Once
+	eqAgg  *report.Aggregator
+	eqSrv  *Server
+)
+
+// eqFixture verifies the 13-registry synthetic fixture corpus once and
+// serves it alongside an independently fed Aggregator — the ground
+// truth the API must reproduce.
+func eqFixture(t *testing.T) (*report.Aggregator, *Server) {
+	t.Helper()
+	eqOnce.Do(func() {
+		sys, err := core.BuildSynthetic(core.Options{Seed: 42, ASes: 300, Collectors: 8})
+		if err != nil {
+			panic(err)
+		}
+		routes := sys.CollectRoutes(8, 42)
+		reports := sys.Verifier.VerifyAll(routes, 0)
+
+		eqAgg = report.NewAggregator()
+		for _, rep := range reports {
+			eqAgg.Add(rep)
+		}
+
+		store := reportstore.New(nil)
+		store.Swap(reportstore.BuildSnapshot(reports))
+		eqSrv = NewServer(store, Config{}, nil)
+	})
+	if eqAgg == nil || eqSrv == nil {
+		t.Fatal("fixture build failed")
+	}
+	return eqAgg, eqSrv
+}
+
+// TestStoreEquivalence proves API responses match report.Aggregator
+// output for every AS in the corpus: same per-AS import/export status
+// counts, same cause sets, same corpus totals.
+func TestStoreEquivalence(t *testing.T) {
+	agg, srv := eqFixture(t)
+
+	perAS := agg.PerAS()
+	if len(perAS) == 0 {
+		t.Fatal("aggregator saw no ASes")
+	}
+	for _, want := range perAS {
+		var got ASReportJSON
+		path := fmt.Sprintf("/v1/as/%d/report?limit=1", want.ASN)
+		if code := get(t, srv, path, &got); code != http.StatusOK {
+			t.Fatalf("AS%d report = %d", want.ASN, code)
+		}
+		if int64(got.TotalChecks) != want.Imports.Total()+want.Exports.Total() {
+			t.Errorf("AS%d total checks = %d, aggregator = %d",
+				want.ASN, got.TotalChecks, want.Imports.Total()+want.Exports.Total())
+		}
+		if !reflect.DeepEqual(got.Imports, statusMap(&want.Imports)) {
+			t.Errorf("AS%d imports = %v, aggregator = %v", want.ASN, got.Imports, statusMap(&want.Imports))
+		}
+		if !reflect.DeepEqual(got.Exports, statusMap(&want.Exports)) {
+			t.Errorf("AS%d exports = %v, aggregator = %v", want.ASN, got.Exports, statusMap(&want.Exports))
+		}
+		wantUnrec := causeNames(want.UnrecCauses, report.CauseNoAutNum, report.CauseMissingSet)
+		if !reflect.DeepEqual(got.UnrecordedCauses, wantUnrec) {
+			t.Errorf("AS%d unrecorded causes = %v, aggregator = %v", want.ASN, got.UnrecordedCauses, wantUnrec)
+		}
+		wantSpec := causeNames(want.SpecialCauses, report.CauseExportSelf, report.CauseUphill)
+		if !reflect.DeepEqual(got.SpecialCauses, wantSpec) {
+			t.Errorf("AS%d special causes = %v, aggregator = %v", want.ASN, got.SpecialCauses, wantSpec)
+		}
+	}
+}
+
+// TestSummaryEquivalence proves /v1/summary reports the Aggregator's
+// own totals.
+func TestSummaryEquivalence(t *testing.T) {
+	agg, srv := eqFixture(t)
+
+	var sum SummaryJSON
+	if code := get(t, srv, "/v1/summary", &sum); code != http.StatusOK {
+		t.Fatalf("summary = %d", code)
+	}
+	if sum.Routes != agg.Routes ||
+		sum.IgnoredASSet != agg.IgnoredASSet || sum.IgnoredSingleAS != agg.IgnoredSingleAS {
+		t.Errorf("summary routes = %+v, aggregator = %d/%d/%d",
+			sum, agg.Routes, agg.IgnoredASSet, agg.IgnoredSingleAS)
+	}
+	if sum.ASes != agg.NumASes() || sum.Pairs != agg.NumPairs() {
+		t.Errorf("ases/pairs = %d/%d, aggregator = %d/%d",
+			sum.ASes, sum.Pairs, agg.NumASes(), agg.NumPairs())
+	}
+	if !reflect.DeepEqual(sum.Checks, statusMap(&agg.Checks)) {
+		t.Errorf("checks = %v, aggregator = %v", sum.Checks, statusMap(&agg.Checks))
+	}
+	if !reflect.DeepEqual(sum.FirstHop, statusMap(&agg.FirstHop)) {
+		t.Errorf("first hop = %v, aggregator = %v", sum.FirstHop, statusMap(&agg.FirstHop))
+	}
+}
+
+// TestReverseEquivalence cross-checks one reverse index against a
+// direct scan of the aggregator's per-AS stats.
+func TestReverseEquivalence(t *testing.T) {
+	agg, srv := eqFixture(t)
+
+	var want []uint32
+	for _, st := range agg.PerAS() {
+		if st.UnrecCauses.Has(report.CauseNoRules) {
+			want = append(want, uint32(st.ASN))
+		}
+	}
+	var got ReverseJSON
+	if code := get(t, srv, "/v1/reverse/reason/no-rules?limit=1000", &got); code != http.StatusOK {
+		t.Fatalf("reverse = %d", code)
+	}
+	if got.TotalASes != len(want) || !reflect.DeepEqual(got.ASes, want) {
+		t.Errorf("reverse no-rules = %d ASes, aggregator scan = %d", got.TotalASes, len(want))
+	}
+	if verify.NumReasons < 10 {
+		t.Fatal("reason enum shrank unexpectedly")
+	}
+}

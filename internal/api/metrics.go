@@ -1,0 +1,116 @@
+package api
+
+import "rpslyzer/internal/telemetry"
+
+// endpointNames lists every instrumented endpoint; per-endpoint
+// latency histograms are registered for each at construction so the
+// hot path never touches the registry.
+var endpointNames = []string{
+	"summary", "ases", "as_report", "as_routes", "reports", "reverse", "healthz",
+}
+
+// Metrics mirrors API server activity into a telemetry registry: QPS
+// (requests over time), cache hit ratio, and per-endpoint latency
+// histograms, as served by the standard /metrics endpoint.
+type Metrics struct {
+	requests  *telemetry.LabeledCounter
+	errors    *telemetry.LabeledCounter
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	collapsed *telemetry.Counter
+	bytes     *telemetry.Counter
+	inflight  *telemetry.Gauge
+	latency   map[string]*telemetry.Histogram
+}
+
+// NewMetrics registers the API instruments on reg (idempotent; nil reg
+// returns nil, and a nil *Metrics is a no-op everywhere).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{
+		requests:  reg.LabeledCounter("rpslyzer_api_requests_total", "API requests served, by endpoint.", "endpoint"),
+		errors:    reg.LabeledCounter("rpslyzer_api_errors_total", "API error responses (4xx/5xx), by endpoint.", "endpoint"),
+		hits:      reg.Counter("rpslyzer_api_cache_hits_total", "Response-cache hits."),
+		misses:    reg.Counter("rpslyzer_api_cache_misses_total", "Response-cache misses (responses rendered)."),
+		collapsed: reg.Counter("rpslyzer_api_flight_collapsed_total", "Requests that shared another caller's in-flight render."),
+		bytes:     reg.Counter("rpslyzer_api_response_bytes_total", "Response body bytes written."),
+		inflight:  reg.Gauge("rpslyzer_api_inflight_requests", "Requests currently being served."),
+		latency:   make(map[string]*telemetry.Histogram, len(endpointNames)),
+	}
+	for _, ep := range endpointNames {
+		m.latency[ep] = reg.Histogram("rpslyzer_api_latency_seconds_"+ep,
+			"Request latency for the "+ep+" endpoint.", nil)
+	}
+	return m
+}
+
+// The unexported helpers below are nil-receiver-safe so the request
+// path can instrument unconditionally.
+
+func (m *Metrics) incInflight() {
+	if m != nil {
+		m.inflight.Inc()
+	}
+}
+
+func (m *Metrics) decInflight() {
+	if m != nil {
+		m.inflight.Dec()
+	}
+}
+
+func (m *Metrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+
+func (m *Metrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *Metrics) collapse() {
+	if m != nil {
+		m.collapsed.Inc()
+	}
+}
+
+func (m *Metrics) span(endpoint string) telemetry.Span {
+	if m == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan(m.latency[endpoint])
+}
+
+func (m *Metrics) observe(endpoint string, code, bytes int) {
+	if m == nil {
+		return
+	}
+	m.requests.Inc(endpoint)
+	if code >= 400 {
+		m.errors.Inc(endpoint)
+	}
+	m.bytes.Add(int64(bytes))
+}
+
+// CacheHits returns response-cache hits so far.
+func (m *Metrics) CacheHits() int64 { return m.hits.Value() }
+
+// CacheMisses returns response-cache misses so far.
+func (m *Metrics) CacheMisses() int64 { return m.misses.Value() }
+
+// Requests returns the total request count across endpoints.
+func (m *Metrics) Requests() int64 {
+	if m == nil {
+		return 0
+	}
+	var n int64
+	for _, v := range m.requests.Values() {
+		n += v
+	}
+	return n
+}

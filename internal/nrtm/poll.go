@@ -1,0 +1,150 @@
+package nrtm
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+)
+
+// PollConfig drives Poll, the shared mirror loop behind whoisd and
+// reportd's -mirror flags.
+type PollConfig struct {
+	// JournalDir is watched for *.nrtm journal files.
+	JournalDir string
+	// Interval is the directory poll period.
+	Interval time.Duration
+	// Logger receives mirror diagnostics; nil means slog.Default.
+	Logger *slog.Logger
+	// Reload produces a fresh full snapshot for resync after a serial
+	// gap or corrupt journal (typically core.LoadDumpDir over the dump
+	// directory).
+	Reload func() (*ir.IR, error)
+	// OnSwap is called with the mirror's new database after every
+	// applied journal and after every resync — the hot-swap hook
+	// (whois.Server.SetDB, or a report-store rebuild).
+	OnSwap func(db *irr.Database)
+}
+
+func (c *PollConfig) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
+}
+
+// Poll watches the journal directory and applies new journals in
+// lexical order (irrgen names them <step>.<registry>.nrtm, so that is
+// serial order), invoking OnSwap after each applied journal. A serial
+// gap or corrupt journal triggers a full resync via Reload followed by
+// a replay of every journal on disk. Poll returns when stop closes.
+func Poll(mir *Mirror, cfg PollConfig, stop <-chan struct{}) {
+	applied := make(map[string]bool)
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		names, err := journalNames(cfg.JournalDir)
+		if err != nil {
+			cfg.logger().Warn("mirror: journal dir unreadable", "dir", cfg.JournalDir, "err", err)
+			continue
+		}
+		for _, name := range names {
+			if applied[name] {
+				continue
+			}
+			if err := applyOne(mir, &cfg, filepath.Join(cfg.JournalDir, name)); err != nil {
+				cfg.logger().Warn("mirror: apply failed; full resync", "journal", name, "err", err)
+				if err := resync(mir, &cfg, applied); err != nil {
+					cfg.logger().Error("mirror: resync failed", "err", err)
+				}
+				break
+			}
+			applied[name] = true
+		}
+	}
+}
+
+// journalNames lists *.nrtm files in lexical (= replay) order.
+func journalNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".nrtm") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func applyOne(mir *Mirror, cfg *PollConfig, path string) error {
+	j, err := ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	if err := mir.Apply(j); err != nil {
+		return err
+	}
+	if cfg.OnSwap != nil {
+		cfg.OnSwap(mir.DB())
+	}
+	cfg.logger().Info("mirror: applied journal",
+		"registry", j.Registry, "serials", fmt.Sprintf("%d-%d", j.First, j.Last), "ops", len(j.Ops))
+	return nil
+}
+
+// resync reloads the full snapshot, resets the mirror, and replays
+// every journal currently on disk from serial 1.
+func resync(mir *Mirror, cfg *PollConfig, applied map[string]bool) error {
+	if cfg.Reload == nil {
+		return fmt.Errorf("nrtm: resync needed but no Reload configured")
+	}
+	x, err := cfg.Reload()
+	if err != nil {
+		return err
+	}
+	mir.Resync(x, nil)
+	if cfg.OnSwap != nil {
+		cfg.OnSwap(mir.DB())
+	}
+	for name := range applied {
+		delete(applied, name)
+	}
+	names, err := journalNames(cfg.JournalDir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, name := range names {
+		// Mark every journal handled whether or not it lands: ones
+		// behind the fresh dumps report gaps by design, and retrying
+		// them next tick would force a resync per poll forever. A
+		// journal skipped here that becomes applicable later (its
+		// predecessor arrives out of order) is recovered by the next
+		// resync, which clears the map and replays the directory.
+		applied[name] = true
+		if err := applyOne(mir, cfg, filepath.Join(cfg.JournalDir, name)); err != nil {
+			var gap *SerialGapError
+			if !errors.As(err, &gap) && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	cfg.logger().Info("mirror: resynced", "resyncs", mir.Resyncs())
+	return firstErr
+}

@@ -118,9 +118,20 @@ func (s CauseSet) Has(c Cause) bool { return s&(1<<c) != 0 }
 // With returns the set with c added.
 func (s CauseSet) With(c Cause) CauseSet { return s | 1<<c }
 
-// causeOfReason maps a check reason to a breakdown cause (ok=false for
-// reasons that are not breakdown categories).
-func causeOfReason(k verify.ReasonKind) (Cause, bool) {
+// ParseCause resolves a cause name (as printed by String).
+func ParseCause(name string) (Cause, bool) {
+	for i, n := range causeNames {
+		if n == name {
+			return Cause(i), true
+		}
+	}
+	return 0, false
+}
+
+// CauseOfReason maps a check reason to a breakdown cause (ok=false for
+// reasons that are not breakdown categories). It is the classification
+// Figures 5 and 6 use, shared with the report store's reverse indexes.
+func CauseOfReason(k verify.ReasonKind) (Cause, bool) {
 	switch k {
 	case verify.UnrecordedAutNum:
 		return CauseNoAutNum, true
@@ -254,7 +265,7 @@ func (a *Aggregator) Add(rep verify.RouteReport) {
 			s.Imports.Add(c.Status)
 		}
 		for _, r := range c.Reasons {
-			if cause, ok := causeOfReason(r.Kind); ok {
+			if cause, ok := CauseOfReason(r.Kind); ok {
 				switch c.Status {
 				case verify.Unrecorded:
 					if cause <= CauseMissingSet {
@@ -290,6 +301,12 @@ func (a *Aggregator) Add(rep verify.RouteReport) {
 		a.routeMixes = append(a.routeMixes, mix)
 	}
 }
+
+// NumASes returns how many ASes have attributed checks.
+func (a *Aggregator) NumASes() int { return len(a.perAS) }
+
+// NumPairs returns how many directed AS pairs were checked.
+func (a *Aggregator) NumPairs() int { return len(a.perPair) }
 
 // PerAS returns per-AS stats sorted by ASN.
 func (a *Aggregator) PerAS() []*ASStats {

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"testing"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/verify"
+)
+
+// TestSummariesEmptyDatabase: an aggregator that never saw a route
+// must produce all-zero figures, not panic or fabricate counts.
+func TestSummariesEmptyDatabase(t *testing.T) {
+	a := NewAggregator()
+
+	if a.NumASes() != 0 || a.NumPairs() != 0 {
+		t.Errorf("ases/pairs = %d/%d", a.NumASes(), a.NumPairs())
+	}
+	if f := a.Figure2(); f.ASes != 0 || f.SingleStatusTotal != 0 {
+		t.Errorf("figure2 = %+v", f)
+	}
+	if f := a.Figure3(); f.Pairs != 0 || f.PairsWithUnverified != 0 {
+		t.Errorf("figure3 = %+v", f)
+	}
+	if f := a.Figure4(); f.Routes != 0 || f.SingleStatusTotal != 0 || f.TwoStatuses != 0 || f.ThreePlus != 0 {
+		t.Errorf("figure4 = %+v", f)
+	}
+	if f := a.Figure5(); f.ASesWithUnrecorded != 0 {
+		t.Errorf("figure5 = %+v", f)
+	}
+	if f := a.Figure6(); f.ASes != 0 || f.ASesWithSpecial != 0 || f.ASesWithUnverified != 0 {
+		t.Errorf("figure6 = %+v", f)
+	}
+	if got := a.Checks.Fractions(); got != [NumStatuses]float64{} {
+		t.Errorf("fractions of zero counts = %v, want all zero", got)
+	}
+	if per := a.PerAS(); len(per) != 0 {
+		t.Errorf("perAS = %v", per)
+	}
+}
+
+// TestSummariesAllSkipRoutes: a corpus where every check lands on Skip
+// concentrates all figures on the skip bucket and records nothing
+// unrecorded or special.
+func TestSummariesAllSkipRoutes(t *testing.T) {
+	a := NewAggregator()
+	for i := 0; i < 3; i++ {
+		a.Add(mkReport(
+			chk(20, 30, ir.DirExport, verify.Skip),
+			chk(20, 30, ir.DirImport, verify.Skip),
+			chk(10, 20, ir.DirImport, verify.Skip),
+		))
+	}
+
+	if a.Checks[verify.Skip] != 9 || a.Checks.Total() != 9 {
+		t.Fatalf("checks = %v", a.Checks)
+	}
+	f2 := a.Figure2()
+	if f2.ASes != 2 || f2.SingleStatus[verify.Skip] != 2 || f2.SingleStatusTotal != 2 {
+		t.Errorf("figure2 = %+v", f2)
+	}
+	f3 := a.Figure3()
+	if f3.Pairs != 2 || f3.PairsWithUnverified != 0 || f3.WithStatus[verify.Skip] != 2 {
+		t.Errorf("figure3 = %+v", f3)
+	}
+	f4 := a.Figure4()
+	if f4.Routes != 3 || f4.SingleStatus[verify.Skip] != 3 || f4.TwoStatuses != 0 {
+		t.Errorf("figure4 = %+v", f4)
+	}
+	if f := a.Figure5(); f.ASesWithUnrecorded != 0 {
+		t.Errorf("figure5 = %+v", f)
+	}
+	f6 := a.Figure6()
+	if f6.ASes != 2 || f6.ASesWithSpecial != 0 || f6.ASesWithUnverified != 0 {
+		t.Errorf("figure6 = %+v", f6)
+	}
+}
+
+// TestSummariesSingleASCorpus: a corpus of only single-AS (ignored)
+// routes contributes nothing but the ignored counters.
+func TestSummariesSingleASCorpus(t *testing.T) {
+	a := NewAggregator()
+	for i := 0; i < 5; i++ {
+		a.Add(verify.RouteReport{Ignored: "single-as"})
+	}
+
+	if a.Routes != 0 || a.IgnoredSingleAS != 5 || a.IgnoredASSet != 0 {
+		t.Fatalf("routes=%d ignored=%d/%d", a.Routes, a.IgnoredASSet, a.IgnoredSingleAS)
+	}
+	if a.Checks.Total() != 0 || a.NumASes() != 0 || a.NumPairs() != 0 {
+		t.Errorf("checks/ases/pairs = %d/%d/%d", a.Checks.Total(), a.NumASes(), a.NumPairs())
+	}
+	if f := a.Figure2(); f.ASes != 0 {
+		t.Errorf("figure2 = %+v", f)
+	}
+	if f := a.Figure4(); f.Routes != 0 {
+		t.Errorf("figure4 = %+v", f)
+	}
+}
+
+// TestSummariesSingleASOwner: one AS owning every check is the
+// degenerate Figure 2/6 population of size one.
+func TestSummariesSingleASOwner(t *testing.T) {
+	a := NewAggregator()
+	a.Add(mkReport(
+		chk(10, 20, ir.DirImport, verify.Verified),
+		chk(30, 20, ir.DirImport, verify.Relaxed,
+			verify.Reason{Kind: verify.SpecMissingRoutes, ASN: 30}),
+	))
+
+	if a.NumASes() != 1 {
+		t.Fatalf("ases = %d", a.NumASes())
+	}
+	f2 := a.Figure2()
+	if f2.ASes != 1 || f2.SingleStatusTotal != 0 ||
+		f2.WithStatus[verify.Verified] != 1 || f2.WithStatus[verify.Relaxed] != 1 {
+		t.Errorf("figure2 = %+v", f2)
+	}
+	f6 := a.Figure6()
+	if f6.ASes != 1 || f6.ASesWithSpecial != 1 || f6.ByCause[CauseMissingRoutes] != 1 {
+		t.Errorf("figure6 = %+v", f6)
+	}
+}

@@ -1,0 +1,179 @@
+package reportstore
+
+import (
+	"sort"
+	"time"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/report"
+	"rpslyzer/internal/symtab"
+	"rpslyzer/internal/verify"
+)
+
+// Builder accumulates route reports into the arenas and indexes of a
+// Snapshot. Add is not safe for concurrent use — feed it as the
+// (serialized) sink of verify.VerifyStream, or loop over VerifyAll
+// output. Build freezes and returns the snapshot; the builder must not
+// be reused afterwards.
+type Builder struct {
+	snap *Snapshot
+
+	// AS membership sets for the inverted indexes, deduplicated here
+	// and sorted into slices at Build time.
+	statusAS [report.NumStatuses]map[ir.ASN]struct{}
+	reasonAS [verify.NumReasons]map[ir.ASN]struct{}
+	causeAS  [report.NumCauses]map[ir.ASN]struct{}
+}
+
+// NewBuilder creates an empty builder.
+func NewBuilder() *Builder {
+	b := &Builder{
+		snap: &Snapshot{
+			names: symtab.NewInterner(),
+			perAS: make(map[ir.ASN]*ASEntry),
+			agg:   report.NewAggregator(),
+		},
+	}
+	// Reserve symbol 0 for the empty name so zero-valued ReasonRefs
+	// round-trip to reasons without a name.
+	b.snap.names.Intern("")
+	for i := range b.statusAS {
+		b.statusAS[i] = make(map[ir.ASN]struct{})
+	}
+	for i := range b.reasonAS {
+		b.reasonAS[i] = make(map[ir.ASN]struct{})
+	}
+	for i := range b.causeAS {
+		b.causeAS[i] = make(map[ir.ASN]struct{})
+	}
+	return b
+}
+
+func (b *Builder) asEntry(asn ir.ASN) *ASEntry {
+	e := b.snap.perAS[asn]
+	if e == nil {
+		e = &ASEntry{}
+		b.snap.perAS[asn] = e
+	}
+	return e
+}
+
+// Add ingests one route report.
+func (b *Builder) Add(rep verify.RouteReport) {
+	s := b.snap
+	b.snap.agg.Add(rep)
+
+	routeIdx := uint32(len(s.routes))
+	rec := RouteRec{
+		Prefix:   rep.Route.Prefix,
+		Path:     rep.Route.Path,
+		Ignored:  rep.Ignored,
+		CheckOff: uint32(len(s.checks)),
+		CheckLen: uint16(len(rep.Checks)),
+	}
+	s.routes = append(s.routes, rec)
+	// Index the route under its origin (last AS on the path) so
+	// /v1/as/{asn}/routes answers "what does this AS originate".
+	if n := len(rep.Route.Path); n > 0 {
+		origin := rep.Route.Path[n-1]
+		e := b.asEntry(origin)
+		e.Routes = append(e.Routes, routeIdx)
+	}
+	if rep.Ignored != "" {
+		return
+	}
+
+	for _, c := range rep.Checks {
+		checkIdx := uint32(len(s.checks))
+		cr := CheckRec{
+			Route:     routeIdx,
+			From:      c.From,
+			To:        c.To,
+			Dir:       c.Dir,
+			Status:    c.Status,
+			ReasonOff: uint32(len(s.reasons)),
+			ReasonLen: uint16(len(c.Reasons)),
+		}
+		for _, r := range c.Reasons {
+			s.reasons = append(s.reasons, ReasonRef{
+				Kind: r.Kind,
+				ASN:  r.ASN,
+				Name: s.names.Intern(r.Name),
+			})
+		}
+		s.checks = append(s.checks, cr)
+
+		owner := cr.Owner()
+		e := b.asEntry(owner)
+		e.Checks = append(e.Checks, checkIdx)
+
+		s.byStatus[c.Status].Checks = append(s.byStatus[c.Status].Checks, checkIdx)
+		b.statusAS[c.Status][owner] = struct{}{}
+		for _, r := range c.Reasons {
+			s.byReason[r.Kind].Checks = append(s.byReason[r.Kind].Checks, checkIdx)
+			b.reasonAS[r.Kind][owner] = struct{}{}
+			if cause, ok := report.CauseOfReason(r.Kind); ok {
+				b.causeAS[cause][owner] = struct{}{}
+			}
+		}
+	}
+}
+
+// Build freezes the snapshot: AS lists are sorted, aggregate stats are
+// attached to their AS entries, and the result is immutable from here
+// on (ready for Store.Swap).
+func (b *Builder) Build() *Snapshot {
+	s := b.snap
+	b.snap = nil
+	s.builtAt = time.Now()
+
+	for _, st := range s.agg.PerAS() {
+		e := s.perAS[st.ASN]
+		if e == nil {
+			// Cannot happen — every aggregated AS owned a check — but
+			// degrade to an empty entry rather than panic.
+			e = &ASEntry{}
+			s.perAS[st.ASN] = e
+		}
+		e.Stats = st
+	}
+
+	s.asns = make([]ir.ASN, 0, len(s.perAS))
+	for asn := range s.perAS {
+		s.asns = append(s.asns, asn)
+	}
+	sort.Slice(s.asns, func(i, j int) bool { return s.asns[i] < s.asns[j] })
+
+	for i := range s.byStatus {
+		s.byStatus[i].ASes = sortedASNs(b.statusAS[i])
+	}
+	for i := range s.byReason {
+		s.byReason[i].ASes = sortedASNs(b.reasonAS[i])
+	}
+	for i := range s.byCause {
+		s.byCause[i] = sortedASNs(b.causeAS[i])
+	}
+	return s
+}
+
+// BuildSnapshot is the one-shot convenience over Builder for callers
+// holding a full report slice.
+func BuildSnapshot(reports []verify.RouteReport) *Snapshot {
+	b := NewBuilder()
+	for _, rep := range reports {
+		b.Add(rep)
+	}
+	return b.Build()
+}
+
+func sortedASNs(set map[ir.ASN]struct{}) []ir.ASN {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]ir.ASN, 0, len(set))
+	for asn := range set {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

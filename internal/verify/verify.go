@@ -113,6 +113,10 @@ const (
 	SpecUphill
 )
 
+// NumReasons is the number of reason kinds (for dense []T tables
+// indexed by ReasonKind).
+const NumReasons = int(SpecUphill) + 1
+
 var reasonNames = [...]string{
 	"MatchRemoteAsNum", "MatchRemoteAsSet", "MatchFilterAsNum", "MatchFilter",
 	"UnrecordedAutNum", "UnrecordedNoRules", "UnrecordedZeroRouteAS",
@@ -128,6 +132,30 @@ func (k ReasonKind) String() string {
 		return reasonNames[k]
 	}
 	return "Invalid"
+}
+
+// MarshalText implements encoding.TextMarshaler, so Reason serializes
+// with the Appendix C name instead of an opaque number.
+func (k ReasonKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *ReasonKind) UnmarshalText(b []byte) error {
+	kind, ok := ParseReasonKind(string(b))
+	if !ok {
+		return fmt.Errorf("verify: bad reason kind %q", b)
+	}
+	*k = kind
+	return nil
+}
+
+// ParseReasonKind resolves a reason-kind name (as printed by String).
+func ParseReasonKind(name string) (ReasonKind, bool) {
+	for i, n := range reasonNames {
+		if n == name {
+			return ReasonKind(i), true
+		}
+	}
+	return 0, false
 }
 
 // Reason is one diagnostic item attached to a check.

@@ -17,6 +17,10 @@
 #   9. mirror smoke — generate a universe plus 3 evolution steps of
 #      journals, replay them with cmd/nrtm, and prove the mirrored
 #      database renders identically to the final snapshot's dumps
+#  10. API bench smoke — apiload in self-serve mode drives the report
+#      API over both transports (in-process and loopback TCP), written
+#      to BENCH_api.json; the in-process cache-hit run must sustain
+#      >= 100k QPS
 #
 # Usage: scripts/verify.sh [package-pattern]   (default ./...)
 set -eu
@@ -63,5 +67,13 @@ go run ./cmd/nrtm -dumps "$smoke" -journals "$smoke/journals" -expect "$smoke/fi
 cat "$smoke/nrtm.out"
 grep -q "equivalence: OK" "$smoke/nrtm.out"
 grep -q "applied " "$smoke/nrtm.out"
+
+echo "== API bench smoke (apiload -selfserve, BENCH_api.json)"
+go run ./cmd/apiload -selfserve -ases 300 -seed 42 -duration 2s -out BENCH_api.json
+grep -q '"qps"' BENCH_api.json
+# The in-process run is the cache-hit ceiling: hold it to 100k QPS.
+inproc_qps=$(awk '/"inproc"/{grab=1} grab && /"qps"/{gsub(/[^0-9.]/,"",$2); print int($2); exit}' BENCH_api.json)
+echo "inproc QPS: $inproc_qps"
+[ "$inproc_qps" -ge 100000 ]
 
 echo "verify: OK"
