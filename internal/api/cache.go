@@ -116,7 +116,9 @@ func newFlightGroup() *flightGroup {
 
 // Do runs render for key exactly once among concurrent callers.
 // shared reports whether this caller got a result computed by another
-// goroutine.
+// goroutine. Cleanup is deferred so a panicking render still releases
+// waiters (they see a 500 entry) and frees the key; the panic itself
+// propagates to net/http's per-connection recovery.
 func (g *flightGroup) Do(key string, render func() cacheEntry) (ent cacheEntry, shared bool) {
 	g.mu.Lock()
 	if call, ok := g.m[key]; ok {
@@ -128,11 +130,15 @@ func (g *flightGroup) Do(key string, render func() cacheEntry) (ent cacheEntry, 
 	g.m[key] = call
 	g.mu.Unlock()
 
+	defer func() {
+		if call.ent.code == 0 { // render panicked before assigning
+			call.ent = cacheEntry{code: 500, body: []byte("{\"error\":\"internal error\"}\n")}
+		}
+		close(call.done)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
 	call.ent = render()
-	close(call.done)
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
 	return call.ent, false
 }

@@ -16,7 +16,10 @@ package api
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -44,10 +47,10 @@ func (c *Config) fill() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 8192
 	}
-	if c.PageSize == 0 {
+	if c.PageSize < 1 {
 		c.PageSize = 100
 	}
-	if c.MaxPageSize == 0 {
+	if c.MaxPageSize < 1 {
 		c.MaxPageSize = 1000
 	}
 }
@@ -65,6 +68,8 @@ type Server struct {
 
 	httpSrv *http.Server
 	ln      net.Listener
+	done    chan struct{}
+	err     error
 }
 
 // NewServer wires a server over the store. Metrics may be nil.
@@ -102,9 +107,25 @@ func (s *Server) Listen(addr string) error {
 	}
 	s.ln = ln
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
-	go s.httpSrv.Serve(ln)
+	s.done = make(chan struct{})
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("api: serve %v: %v", ln.Addr(), err)
+			s.err = err
+		}
+		close(s.done)
+	}()
 	return nil
 }
+
+// Done is closed when the serve loop exits (after Shutdown, or on a
+// listener failure). Err reports why; nil for a graceful shutdown.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Err returns the serve-loop error once Done is closed, or nil if the
+// server stopped via Shutdown.
+func (s *Server) Err() error { return s.err }
 
 // Addr returns the bound address, or nil before Listen.
 func (s *Server) Addr() net.Addr {
@@ -243,7 +264,7 @@ func (s *Server) pageParams(snap *reportstore.Snapshot, r *http.Request) (offset
 	}
 	if cur := q.Get("cursor"); cur != "" {
 		serial, off, err := parseCursor(cur)
-		if err != nil {
+		if err != nil || off > math.MaxInt-limit {
 			return 0, 0, errf(http.StatusBadRequest, "bad cursor %q", cur)
 		}
 		if serial != snap.Serial() {
@@ -253,8 +274,10 @@ func (s *Server) pageParams(snap *reportstore.Snapshot, r *http.Request) (offset
 		return off, limit, nil
 	}
 	if ps := q.Get("page"); ps != "" {
+		// The bound keeps offset+limit within int range so downstream
+		// min(offset+limit, total) arithmetic can never wrap negative.
 		n, err := strconv.Atoi(ps)
-		if err != nil || n < 0 {
+		if err != nil || n < 0 || n > (math.MaxInt-limit)/limit {
 			return 0, 0, errf(http.StatusBadRequest, "bad page %q", ps)
 		}
 		return n * limit, limit, nil
@@ -641,7 +664,7 @@ func routeJSON(snap *reportstore.Snapshot, idx uint32) RouteJSON {
 	}
 	if rec.CheckLen > 0 {
 		var counts report.StatusCounts
-		for i := rec.CheckOff; i < rec.CheckOff+uint32(rec.CheckLen); i++ {
+		for i := rec.CheckOff; i < rec.CheckOff+rec.CheckLen; i++ {
 			counts.Add(snap.Check(i).Status)
 		}
 		out.Statuses = statusMap(&counts)

@@ -300,6 +300,30 @@ func TestPaginationCursorWalk(t *testing.T) {
 	}
 }
 
+func TestPaginationOverflowRejected(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{})
+
+	// A huge page number would overflow offset = page*limit to a
+	// negative value and panic the slice downstream; it must 400.
+	for _, path := range []string{
+		"/v1/ases?page=9000000000000000000",
+		"/v1/as/20/report?page=9000000000000000000",
+		"/v1/as/10/routes?page=9000000000000000000",
+		"/v1/reports?page=9000000000000000000",
+		"/v1/reverse/status/verified?page=9000000000000000000",
+		"/v1/ases?limit=1000&page=9300000000000000",
+	} {
+		if code := get(t, s, path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, code)
+		}
+	}
+
+	// A cursor offset near MaxInt would overflow offset+limit; 400 too.
+	if code := get(t, s, "/v1/ases?cursor=v1:1:9223372036854775800", nil); code != http.StatusBadRequest {
+		t.Errorf("overflowing cursor = %d, want 400", code)
+	}
+}
+
 func TestCursorGoneAfterSwap(t *testing.T) {
 	s, store, _ := newTestServer(t, Config{})
 
@@ -395,6 +419,53 @@ func TestSingleflightCollapse(t *testing.T) {
 	}
 	if shared == 0 {
 		t.Error("no caller observed a shared result")
+	}
+}
+
+func TestSingleflightPanicReleasesWaiters(t *testing.T) {
+	fg := newFlightGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+
+	go func() {
+		defer close(leaderDone)
+		defer func() { recover() }()
+		fg.Do("k", func() cacheEntry {
+			close(entered)
+			<-release
+			panic("render blew up")
+		})
+	}()
+	<-entered
+
+	// Capture the in-flight call a waiter would block on, then let the
+	// leader panic.
+	fg.mu.Lock()
+	call := fg.m["k"]
+	fg.mu.Unlock()
+	if call == nil {
+		t.Fatal("no in-flight call registered for key")
+	}
+	close(release)
+	<-leaderDone
+
+	// The waiter contract: done must be closed (this receive deadlocked
+	// before the deferred cleanup) with a served entry, and the key must
+	// be freed for the next render.
+	<-call.done
+	if call.ent.code != 500 {
+		t.Errorf("waiter entry code = %d, want 500", call.ent.code)
+	}
+	fg.mu.Lock()
+	leaked := len(fg.m)
+	fg.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("flight map leaked %d entries after panic", leaked)
+	}
+	ent, shared := fg.Do("k", func() cacheEntry { return cacheEntry{code: 200} })
+	if shared || ent.code != 200 {
+		t.Errorf("post-panic Do = (%d, shared=%v), want fresh 200 render", ent.code, shared)
 	}
 }
 

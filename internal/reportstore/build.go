@@ -65,11 +65,16 @@ func (b *Builder) Add(rep verify.RouteReport) {
 
 	routeIdx := uint32(len(s.routes))
 	rec := RouteRec{
-		Prefix:   rep.Route.Prefix,
-		Path:     rep.Route.Path,
-		Ignored:  rep.Ignored,
-		CheckOff: uint32(len(s.checks)),
-		CheckLen: uint16(len(rep.Checks)),
+		Prefix:  rep.Route.Prefix,
+		Path:    rep.Route.Path,
+		Ignored: rep.Ignored,
+	}
+	// An ignored route contributes no checks to the arena, so its range
+	// must stay empty even if an imported report carries both fields —
+	// a non-zero CheckLen here would alias other routes' checks.
+	if rep.Ignored == "" {
+		rec.CheckOff = uint32(len(s.checks))
+		rec.CheckLen = uint32(len(rep.Checks))
 	}
 	s.routes = append(s.routes, rec)
 	// Index the route under its origin (last AS on the path) so
@@ -92,7 +97,7 @@ func (b *Builder) Add(rep verify.RouteReport) {
 			Dir:       c.Dir,
 			Status:    c.Status,
 			ReasonOff: uint32(len(s.reasons)),
-			ReasonLen: uint16(len(c.Reasons)),
+			ReasonLen: uint32(len(c.Reasons)),
 		}
 		for _, r := range c.Reasons {
 			s.reasons = append(s.reasons, ReasonRef{

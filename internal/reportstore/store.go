@@ -48,7 +48,7 @@ type CheckRec struct {
 	Dir       ir.Direction
 	Status    verify.Status
 	ReasonOff uint32
-	ReasonLen uint16
+	ReasonLen uint32
 }
 
 // Owner returns the AS whose rule the check exercised (the AS the
@@ -67,7 +67,7 @@ type RouteRec struct {
 	Path     []ir.ASN
 	Ignored  string
 	CheckOff uint32
-	CheckLen uint16
+	CheckLen uint32
 }
 
 // ASEntry indexes one AS: the checks attributed to it, the routes it
@@ -133,7 +133,7 @@ func (s *Snapshot) CheckReasons(c CheckRec) []verify.Reason {
 		return nil
 	}
 	out := make([]verify.Reason, c.ReasonLen)
-	for i, ref := range s.reasons[c.ReasonOff : c.ReasonOff+uint32(c.ReasonLen)] {
+	for i, ref := range s.reasons[c.ReasonOff : c.ReasonOff+c.ReasonLen] {
 		out[i] = verify.Reason{Kind: ref.Kind, ASN: ref.ASN, Name: s.names.Name(ref.Name)}
 	}
 	return out

@@ -97,6 +97,36 @@ func TestBuilderArenas(t *testing.T) {
 	}
 }
 
+// TestIgnoredRouteWithChecks feeds the builder a report that carries
+// both an ignore marker and checks — impossible from the verifier, but
+// reachable through reportd -import reading an external JSONL file.
+// The ignored route must get an empty check range rather than a
+// dangling one aliasing the next route's checks (or running off the
+// arena end).
+func TestIgnoredRouteWithChecks(t *testing.T) {
+	bad := rep(t, "10.0.0.0/24", []ir.ASN{20, 10},
+		chk(10, 20, ir.DirImport, verify.Verified))
+	bad.Ignored = "single-as"
+	good := rep(t, "10.0.1.0/24", []ir.ASN{20, 10},
+		chk(10, 20, ir.DirImport, verify.Unverified))
+	snap := BuildSnapshot([]verify.RouteReport{bad, good})
+
+	if snap.NumChecks() != 1 {
+		t.Fatalf("checks = %d, want 1 (ignored route's checks dropped)", snap.NumChecks())
+	}
+	r0 := snap.Route(0)
+	if r0.CheckOff != 0 || r0.CheckLen != 0 {
+		t.Errorf("ignored route range = %d+%d, want 0+0", r0.CheckOff, r0.CheckLen)
+	}
+	r1 := snap.Route(1)
+	if r1.CheckOff != 0 || r1.CheckLen != 1 {
+		t.Errorf("good route range = %d+%d, want 0+1", r1.CheckOff, r1.CheckLen)
+	}
+	if st := snap.Check(r1.CheckOff).Status; st != verify.Unverified {
+		t.Errorf("good route's check status = %v, want unverified", st)
+	}
+}
+
 func TestBuilderIndexes(t *testing.T) {
 	snap := BuildSnapshot(corpus(t))
 
