@@ -27,6 +27,7 @@ import (
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/rpsl"
 	"rpslyzer/internal/stats"
+	"rpslyzer/internal/trace"
 	"rpslyzer/internal/verify"
 )
 
@@ -555,6 +556,33 @@ func BenchmarkVerifyAll(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkVerifyAllTraced is BenchmarkVerifyAll/compiled with the
+// production observability stack attached: a sampling tracer
+// (verify 1-in-1024, compile 1-in-16, the reportd defaults) and a
+// heavy-hitter profiler. verify.sh gates the ratio against the
+// untraced compiled number — the instrumentation must cost <5%.
+func BenchmarkVerifyAllTraced(b *testing.B) {
+	f := getFixture(b)
+	v := verify.New(f.sys.DB, f.sys.Rels, verify.Config{Eval: "compiled"})
+	tr := trace.New(trace.Config{Sample: map[string]int{"verify": 1024, "compile": 16}})
+	prof := verify.NewProfiler(64)
+	prof.Register(tr)
+	v.SetTracer(tr)
+	v.SetProfiler(prof)
+	v.VerifyAll(f.routes[:min(len(f.routes), 1000)], 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports := v.VerifyAll(f.routes, 0)
+		if len(reports) != len(f.routes) {
+			b.Fatal("missing reports")
+		}
+	}
+	b.StopTimer()
+	if len(prof.SlowRoutes.Top(1)) == 0 {
+		b.Fatal("profiler saw no routes")
 	}
 }
 

@@ -82,6 +82,7 @@ func main() {
 		mixFlag     = flag.String("mix", "", "endpoint weights, e.g. as_report=45,as_routes=20,reports=15,reverse=10,summary=5,ases=5")
 		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew for AS popularity (>1)")
 		out         = flag.String("out", "-", "write the JSON result to this file ('-' for stdout)")
+		maxErrRate  = flag.Float64("max-error-rate", 0.01, "exit 1 when any run's error rate (net errors + 5xx over requests) exceeds this fraction (negative disables)")
 	)
 	flag.Parse()
 	telemetry.SetupLogger("apiload", nil)
@@ -137,9 +138,15 @@ func main() {
 		telemetry.Fatal("need -addr or -selfserve")
 	}
 
+	breached := ""
 	for name, run := range output.Runs {
-		fmt.Fprintf(os.Stderr, "%s: %d reqs in %.2fs = %.0f QPS (p50 %v, p99 %v, errors %d)\n",
-			name, run.Requests, run.Duration.Seconds(), run.QPS, run.P50, run.P99, run.Errors)
+		fmt.Fprintf(os.Stderr,
+			"%s: %d reqs in %.2fs = %.0f QPS (p50 %v, p99 %v; 2xx %d, 404 %d, 4xx %d, 5xx %d, net %d, error rate %.4f)\n",
+			name, run.Requests, run.Duration.Seconds(), run.QPS, run.P50, run.P99,
+			run.Status2xx, run.NotFound, run.Status4xx, run.Status5xx, run.NetErrors, run.ErrorRate)
+		if *maxErrRate >= 0 && run.ErrorRate > *maxErrRate {
+			breached = name
+		}
 	}
 
 	w := os.Stdout
@@ -155,6 +162,13 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(output); err != nil {
 		telemetry.Fatal("write output failed", "err", err)
+	}
+	// Fail after the JSON lands so the bench record survives for triage.
+	if breached != "" {
+		run := output.Runs[breached]
+		fmt.Fprintf(os.Stderr, "apiload: %s error rate %.4f exceeds -max-error-rate %.4f (%d errors / %d requests)\n",
+			breached, run.ErrorRate, *maxErrRate, run.Errors, run.Requests)
+		os.Exit(1)
 	}
 }
 

@@ -44,7 +44,8 @@ func main() {
 		only       = flag.String("only", "", "run one experiment: table1,table2,figure1..figure6,section4,appendixE,perf,aspa,recommendations,communities,classify")
 	)
 	flag.Parse()
-	telemetry.SetupLogger("experiments", nil)
+	logger := telemetry.SetupLogger("experiments", nil)
+	logger.Info("build info", telemetry.BuildInfoArgs(telemetry.RegisterBuildInfo(telemetry.Default()))...)
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 
 	buildStart := time.Now()

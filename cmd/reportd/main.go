@@ -11,6 +11,15 @@
 // hot-swapped in — queries never block on a rebuild, and the swap
 // count is exported as report_store_swaps_total.
 //
+// The whole chain is traced: each applied journal opens a "mirror"
+// trace whose children cover journal read, apply, verification,
+// snapshot build, and the hot swap; API requests are sampled into
+// "api" traces. Traces are served from /debug/trace/* on the metrics
+// address (summary, recent, slowest, topk, and a Perfetto-loadable
+// Chrome export). -stale-after and -max-error-rate arm a freshness/SLO
+// watchdog that flips /healthz to 503 when the served snapshot goes
+// stale or the 5xx rate breaches.
+//
 // Usage:
 //
 //	reportd -dumps data/ -rels data/as-rel.txt -routes data/routes.txt -listen 127.0.0.1:8080
@@ -39,6 +48,7 @@ import (
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/reportstore"
 	"rpslyzer/internal/telemetry"
+	"rpslyzer/internal/trace"
 	"rpslyzer/internal/verify"
 )
 
@@ -49,7 +59,8 @@ func main() {
 		routesPath     = flag.String("routes", "data/routes.txt", "BGP route dump file")
 		importPath     = flag.String("import", "", "serve this `verify -json` report file instead of verifying")
 		listen         = flag.String("listen", "127.0.0.1:8080", "API listen address")
-		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /debug/trace on this address")
+		addrFile       = flag.String("addr-file", "", "write the bound api= and metrics= addresses to this file (for scripted smokes)")
 		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
 		cacheEntries   = flag.Int("cache-entries", 8192, "response cache capacity (entries; negative disables)")
@@ -57,6 +68,10 @@ func main() {
 		evalMode       = flag.String("eval", "compiled", "evaluation engine: 'compiled' or 'interp'")
 		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals; rebuild and hot-swap the store after each applied journal")
 		mirrorInterval = flag.Duration("mirror-interval", 2*time.Second, "journal directory poll interval for -mirror")
+		traceSamples   = flag.String("trace-sample", "verify=1024,compile=16,ingest=16,api=64", "per-stage trace sampling as stage=N pairs (1-in-N); unlisted stages trace every operation")
+		topK           = flag.Int("topk", 64, "heavy-hitter sketch capacity (slowest routes/ASes, hottest programs)")
+		staleAfter     = flag.Duration("stale-after", 0, "degrade /healthz when the served snapshot is older than this (0 disables; try 5x -mirror-interval)")
+		maxErrorRate   = flag.Float64("max-error-rate", 0, "degrade /healthz when the windowed 5xx rate exceeds this fraction (0 disables)")
 	)
 	flag.Parse()
 
@@ -67,19 +82,56 @@ func main() {
 	}
 	logger := telemetry.SetupLogger("reportd", level)
 
+	samples, err := trace.ParseSamples(*traceSamples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tracer := trace.New(trace.Config{Sample: samples})
+	watchdog := trace.NewWatchdog(trace.WatchdogConfig{
+		MaxStaleness: *staleAfter,
+		MaxErrorRate: *maxErrorRate,
+	})
+
 	reg := telemetry.Default()
+	logger.Info("build info", telemetry.BuildInfoArgs(telemetry.RegisterBuildInfo(reg))...)
+	telemetry.RegisterRuntimeMetrics(reg)
+
+	storeMetrics := reportstore.NewMetrics(reg)
+	store := reportstore.New(storeMetrics)
+	reg.GaugeFunc("rpslyzer_snapshot_age_seconds",
+		"Age of the served report snapshot (-1 before the first swap).",
+		func() float64 {
+			snap := store.Current()
+			if snap == nil {
+				return -1
+			}
+			return time.Since(snap.BuiltAt()).Seconds()
+		})
+	reg.GaugeFunc("rpslyzer_watchdog_healthy",
+		"1 while every armed SLO (staleness, error rate) holds, else 0.",
+		func() float64 {
+			if watchdog.Status().Health == trace.Healthy {
+				return 1
+			}
+			return 0
+		})
+
+	var metricsBound string
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg)
+		ms, err := telemetry.Serve(*metricsAddr, reg,
+			telemetry.Mount{Pattern: "/debug/trace/", Handler: tracer.Handler()})
 		if err != nil {
 			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)
 		}
 		defer ms.Close()
-		logger.Info("metrics endpoint listening", "addr", ms.Addr().String())
+		metricsBound = ms.Addr().String()
+		logger.Info("metrics endpoint listening", "addr", metricsBound)
 	}
 
-	storeMetrics := reportstore.NewMetrics(reg)
-	store := reportstore.New(storeMetrics)
 	vcfg := verify.Config{Eval: *evalMode}
+	profiler := verify.NewProfiler(*topK)
+	profiler.Register(tracer)
 
 	var (
 		rels   *asrel.Database
@@ -99,17 +151,33 @@ func main() {
 
 	// rebuild verifies the route corpus against db and publishes the
 	// snapshot — the initial build and every mirror-driven refresh.
-	rebuild := func(db *irr.Database) {
+	// When parent is non-nil (a mirror journal apply) the rebuild spans
+	// hang off it, so one trace covers journal-apply → verify → swap.
+	rebuild := func(db *irr.Database, parent *trace.Span) {
 		t0 := time.Now()
+		root := trace.StartOrChild(tracer, parent, "rebuild", "rebuild")
 		v := verify.New(db, rels, vcfg)
 		v.SetMetrics(verify.NewMetrics(reg))
+		v.SetTracer(tracer)
+		v.SetProfiler(profiler)
 		b := reportstore.NewBuilder()
+		vs := root.Child("verify-stream")
 		v.VerifyStream(routes, *workers, b.Add)
+		vs.End()
+		sb := root.Child("store-build")
 		snap := b.Build()
+		sb.End()
 		if storeMetrics != nil {
 			storeMetrics.BuildSeconds.ObserveSince(t0)
 		}
+		sw := root.Child("swap")
 		serial := store.Swap(snap)
+		sw.End()
+		watchdog.RecordRefresh()
+		root.SetInt("routes", int64(snap.NumRoutes())).
+			SetInt("checks", int64(snap.NumChecks())).
+			SetInt("serial", int64(serial)).
+			End()
 		logger.Info("store swapped", "serial", serial,
 			"routes", snap.NumRoutes(), "checks", snap.NumChecks(),
 			"build", time.Since(t0).Round(time.Millisecond))
@@ -137,10 +205,11 @@ func main() {
 		}
 		snap := b.Build()
 		store.Swap(snap)
+		watchdog.RecordRefresh()
 		logger.Info("imported reports", "path", *importPath,
 			"routes", snap.NumRoutes(), "checks", snap.NumChecks())
 	} else {
-		rebuild(db)
+		rebuild(db, nil)
 	}
 
 	var stopMirror chan struct{}
@@ -152,6 +221,7 @@ func main() {
 			JournalDir: *mirrorDir,
 			Interval:   *mirrorInterval,
 			Logger:     logger,
+			Tracer:     tracer,
 			Reload: func() (*ir.IR, error) {
 				x, _, err := core.LoadDumpDir(dumpDir)
 				return x, err
@@ -163,9 +233,17 @@ func main() {
 	srv := api.NewServer(store, api.Config{
 		CacheEntries: *cacheEntries,
 		PageSize:     *pageSize,
+		Tracer:       tracer,
+		Watchdog:     watchdog,
 	}, api.NewMetrics(reg))
 	if err := srv.Listen(*listen); err != nil {
 		telemetry.Fatal("listen failed", "addr", *listen, "err", err)
+	}
+	if *addrFile != "" {
+		contents := fmt.Sprintf("api=%s\nmetrics=%s\n", srv.Addr().String(), metricsBound)
+		if err := os.WriteFile(*addrFile, []byte(contents), 0o644); err != nil {
+			telemetry.Fatal("write addr file failed", "path", *addrFile, "err", err)
+		}
 	}
 	snap := store.Current()
 	logger.Info("serving",

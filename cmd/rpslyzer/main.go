@@ -76,7 +76,9 @@ func main() {
 	}
 
 	reg := telemetry.Default()
+	logger.Info("build info", telemetry.BuildInfoArgs(telemetry.RegisterBuildInfo(reg))...)
 	if *metricsAddr != "" {
+		telemetry.RegisterRuntimeMetrics(reg)
 		ms, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)

@@ -24,6 +24,7 @@ import (
 	"rpslyzer/internal/core"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/telemetry"
+	"rpslyzer/internal/trace"
 	"rpslyzer/internal/verify"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
 		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
 		evalMode  = flag.String("eval", "compiled", "evaluation engine: 'compiled' (precompiled policy programs) or 'interp' (tree-walking escape hatch)")
+		slowest   = flag.Int("slowest", 0, "after verifying, print the N slowest routes/ASes and hottest compiled programs (heavy-hitter estimates)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -83,6 +85,13 @@ func main() {
 		SkipComplexRegex: *paperMode,
 		EnableRouteCache: *useCache,
 	})
+	var prof *verify.Profiler
+	if *slowest > 0 {
+		prof = verify.NewProfiler(4 * *slowest)
+		// Offline profiling wants exact weights, not sampled estimates.
+		prof.SetRouteSample(1)
+		verifier.SetProfiler(prof)
+	}
 
 	var rts []bgpsim.Route
 	if *oneRoute != "" {
@@ -151,5 +160,24 @@ func main() {
 		100*fh[verify.Safelisted], 100*fh[verify.Unverified])
 	if *useCache {
 		fmt.Printf("route cache hits: %d\n", verifier.CacheHits())
+	}
+	if prof != nil {
+		printTopK("slowest routes", prof.SlowRoutes, *slowest)
+		printTopK("slowest origin ASes", prof.SlowASes, *slowest)
+		printTopK("hottest compiled programs", prof.HotPrograms, *slowest)
+	}
+}
+
+// printTopK renders one heavy-hitter sketch. Weights are seconds;
+// MaxError bounds how much eviction may have over-credited a key.
+func printTopK(title string, tk *trace.TopK, n int) {
+	entries := tk.Top(n)
+	fmt.Printf("%s (top %d of %d tracked):\n", title, len(entries), tk.Len())
+	for i, e := range entries {
+		line := fmt.Sprintf("  %2d. %-24s %8.3fs over %d obs", i+1, e.Key, e.Weight, e.Count)
+		if e.MaxError > 0 {
+			line += fmt.Sprintf(" (±%.3fs)", e.MaxError)
+		}
+		fmt.Println(line)
 	}
 }

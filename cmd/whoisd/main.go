@@ -26,6 +26,7 @@ import (
 	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/parser"
 	"rpslyzer/internal/telemetry"
+	"rpslyzer/internal/trace"
 	"rpslyzer/internal/whois"
 )
 
@@ -37,6 +38,7 @@ func main() {
 		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals and apply them incrementally")
 		mirrorInterval = flag.Duration("mirror-interval", 2*time.Second, "journal directory poll interval for -mirror")
+		traceSamples   = flag.String("trace-sample", "ingest=16,whois=64", "per-stage trace sampling as stage=N pairs (1-in-N); unlisted stages trace every operation")
 	)
 	flag.Parse()
 
@@ -47,9 +49,19 @@ func main() {
 	}
 	logger := telemetry.SetupLogger("whoisd", level)
 
+	samples, err := trace.ParseSamples(*traceSamples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tracer := trace.New(trace.Config{Sample: samples})
+
 	reg := telemetry.Default()
+	logger.Info("build info", telemetry.BuildInfoArgs(telemetry.RegisterBuildInfo(reg))...)
+	telemetry.RegisterRuntimeMetrics(reg)
 	if *metricsAddr != "" {
-		ms, err := telemetry.Serve(*metricsAddr, reg)
+		ms, err := telemetry.Serve(*metricsAddr, reg,
+			telemetry.Mount{Pattern: "/debug/trace/", Handler: tracer.Handler()})
 		if err != nil {
 			telemetry.Fatal("metrics endpoint failed", "addr", *metricsAddr, "err", err)
 		}
@@ -57,7 +69,7 @@ func main() {
 		logger.Info("metrics endpoint listening", "addr", ms.Addr().String())
 	}
 
-	loadStats := &parser.LoadStats{Metrics: parser.NewPipelineMetrics(reg)}
+	loadStats := &parser.LoadStats{Metrics: parser.NewPipelineMetrics(reg), Trace: tracer}
 	x, _, err := core.LoadDumpDirOpts(*dumps, core.LoadOptions{Stats: loadStats})
 	if err != nil {
 		telemetry.Fatal("load failed", "err", err)
@@ -65,6 +77,7 @@ func main() {
 	srv := whois.NewServer(irr.New(x))
 	srv.Metrics = whois.NewMetrics(reg)
 	srv.Logger = logger
+	srv.Tracer = tracer
 
 	var stopMirror chan struct{}
 	if *mirrorDir != "" {
@@ -76,11 +89,12 @@ func main() {
 			JournalDir: *mirrorDir,
 			Interval:   *mirrorInterval,
 			Logger:     logger,
+			Tracer:     tracer,
 			Reload: func() (*ir.IR, error) {
 				x, _, err := core.LoadDumpDir(dumpDir)
 				return x, err
 			},
-			OnSwap: srv.SetDB,
+			OnSwap: func(db *irr.Database, _ *trace.Span) { srv.SetDB(db) },
 		}, stopMirror)
 	}
 

@@ -61,9 +61,13 @@ func (c *LoadConfig) fill() {
 	}
 }
 
-// LoadResult summarizes one load run.
+// LoadResult summarizes one load run. Latency percentiles cover 2xx
+// responses only — error paths (refused connections, 5xx shortcuts)
+// have entirely different latency profiles and would poison the
+// success-path numbers if folded in.
 type LoadResult struct {
-	Requests int64         `json:"requests"`
+	Requests int64 `json:"requests"`
+	// Errors is the legacy rollup: NetErrors + Status5xx.
 	Errors   int64         `json:"errors"`
 	NotFound int64         `json:"not_found"`
 	Duration time.Duration `json:"-"`
@@ -72,6 +76,14 @@ type LoadResult struct {
 	P90      time.Duration `json:"-"`
 	P99      time.Duration `json:"-"`
 	Max      time.Duration `json:"-"`
+	// Per-class response counts. Status4xx excludes 404s, which the
+	// zipf query mix produces by design (NotFound tracks those).
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	NetErrors int64 `json:"net_errors"`
+	// ErrorRate is Errors / Requests (0 when no requests completed).
+	ErrorRate float64 `json:"error_rate"`
 }
 
 // MarshalJSON flattens durations to float fields so BENCH_api.json is
@@ -173,9 +185,10 @@ func RunLoad(target Target, asns []uint32, cfg LoadConfig) (LoadResult, error) {
 	}
 
 	var (
-		requests, errors, notFound atomic.Int64
-		wg                         sync.WaitGroup
-		lats                       = make([][]int64, cfg.Concurrency)
+		requests, notFound            atomic.Int64
+		ok2xx, bad4xx, bad5xx, netErr atomic.Int64
+		wg                            sync.WaitGroup
+		lats                          = make([][]int64, cfg.Concurrency)
 	)
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
@@ -190,13 +203,20 @@ func RunLoad(target Target, asns []uint32, cfg LoadConfig) (LoadResult, error) {
 				path := picker.pick(rnd, asns[zipf.Uint64()])
 				t0 := time.Now()
 				code, err := target.Do(path)
-				local = append(local, time.Since(t0).Nanoseconds())
+				elapsed := time.Since(t0).Nanoseconds()
 				requests.Add(1)
 				switch {
-				case err != nil || code >= 500:
-					errors.Add(1)
+				case err != nil:
+					netErr.Add(1)
+				case code >= 500:
+					bad5xx.Add(1)
 				case code == http.StatusNotFound:
 					notFound.Add(1)
+				case code >= 400:
+					bad4xx.Add(1)
+				default:
+					ok2xx.Add(1)
+					local = append(local, elapsed)
 				}
 			}
 			lats[w] = local
@@ -211,11 +231,18 @@ func RunLoad(target Target, asns []uint32, cfg LoadConfig) (LoadResult, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := LoadResult{
-		Requests: requests.Load(),
-		Errors:   errors.Load(),
-		NotFound: notFound.Load(),
-		Duration: elapsed,
-		QPS:      float64(requests.Load()) / elapsed.Seconds(),
+		Requests:  requests.Load(),
+		Errors:    netErr.Load() + bad5xx.Load(),
+		NotFound:  notFound.Load(),
+		Duration:  elapsed,
+		QPS:       float64(requests.Load()) / elapsed.Seconds(),
+		Status2xx: ok2xx.Load(),
+		Status4xx: bad4xx.Load(),
+		Status5xx: bad5xx.Load(),
+		NetErrors: netErr.Load(),
+	}
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
 	}
 	if len(all) > 0 {
 		res.P50 = time.Duration(all[len(all)*50/100])

@@ -29,8 +29,14 @@ import (
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/reportstore"
+	"rpslyzer/internal/trace"
 	"rpslyzer/internal/verify"
 )
+
+// SnapshotAgeHeader carries the age in seconds of the snapshot a /v1/*
+// response was answered from, so clients can judge data freshness per
+// response without a second round-trip.
+const SnapshotAgeHeader = "X-RPSLyzer-Snapshot-Age"
 
 // Config tunes the server.
 type Config struct {
@@ -41,6 +47,13 @@ type Config struct {
 	PageSize int
 	// MaxPageSize caps the limit= parameter (default 1000).
 	MaxPageSize int
+	// Watchdog, when non-nil, receives every /v1/* response code for
+	// error-rate tracking and turns /healthz into an SLO probe: 503
+	// with reasons while the watchdog reports degraded.
+	Watchdog *trace.Watchdog
+	// Tracer, when non-nil, emits sampled request spans under the
+	// "api" stage.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -159,25 +172,35 @@ func errf(code int, format string, args ...any) *apiErr {
 type handler func(snap *reportstore.Snapshot, r *http.Request) (any, *apiErr)
 
 // wrap is the common request path: snapshot load, cache probe,
-// singleflight render, telemetry.
+// singleflight render, telemetry, sampled tracing.
 func (s *Server) wrap(endpoint string, fn handler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.incInflight()
 		sp := s.m.span(endpoint)
+		tsp := s.cfg.Tracer.Start("api", endpoint)
+		tsp.Set("uri", r.URL.RequestURI())
 		defer func() {
+			tsp.End()
 			sp.End()
 			s.m.decInflight()
 		}()
 
 		snap := s.store.Current()
 		if snap == nil {
+			tsp.SetInt("code", http.StatusServiceUnavailable)
 			s.writeEntry(w, endpoint, cacheEntry{code: http.StatusServiceUnavailable,
 				body: mustJSON(errorJSON{Error: "no snapshot loaded yet"})})
 			return
 		}
+		// Age is computed per response, not cached with the body: two
+		// requests served from the same cache entry report different
+		// ages.
+		w.Header().Set(SnapshotAgeHeader,
+			strconv.FormatFloat(time.Since(snap.BuiltAt()).Seconds(), 'f', 3, 64))
 		key := cacheKey(snap.Serial(), r.URL.RequestURI())
 		if ent, ok := s.cache.Get(key); ok {
 			s.m.hit()
+			tsp.Set("cache", "hit").SetInt("code", int64(ent.code))
 			s.writeEntry(w, endpoint, ent)
 			return
 		}
@@ -192,6 +215,7 @@ func (s *Server) wrap(endpoint string, fn handler) http.HandlerFunc {
 		if shared {
 			s.m.collapse()
 		}
+		tsp.Set("cache", "miss").SetInt("code", int64(ent.code))
 		s.writeEntry(w, endpoint, ent)
 	}
 }
@@ -213,6 +237,7 @@ func (s *Server) writeEntry(w http.ResponseWriter, endpoint string, ent cacheEnt
 	w.WriteHeader(ent.code)
 	w.Write(ent.body)
 	s.m.observe(endpoint, ent.code, len(ent.body))
+	s.cfg.Watchdog.RecordRequest(ent.code)
 }
 
 func mustJSON(v any) []byte {
@@ -231,17 +256,33 @@ type errorJSON struct {
 
 // handleHealthz is deliberately outside wrap: it must answer (200 with
 // ready=false) even before the first snapshot swap, and is never
-// cached.
+// cached. With a watchdog configured it doubles as the SLO probe:
+// while staleness or error-rate thresholds are breached it answers 503
+// with the breach reasons, so load balancers drain a stale replica.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
+	st := s.cfg.Watchdog.Status()
 	resp := struct {
-		Ready  bool   `json:"ready"`
-		Serial uint64 `json:"serial"`
-	}{Ready: snap != nil}
+		Ready     bool     `json:"ready"`
+		Serial    uint64   `json:"serial"`
+		Health    string   `json:"health"`
+		Reasons   []string `json:"reasons,omitempty"`
+		StaleSecs float64  `json:"staleness_seconds,omitempty"`
+		ErrorRate float64  `json:"error_rate,omitempty"`
+	}{
+		Ready:     snap != nil,
+		Health:    st.HealthStr,
+		Reasons:   st.Reasons,
+		StaleSecs: st.StaleSecs,
+		ErrorRate: st.ErrorRate,
+	}
 	if snap != nil {
 		resp.Serial = snap.Serial()
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if st.Health == trace.Degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	w.Write(mustJSON(resp))
 }
 

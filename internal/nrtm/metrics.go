@@ -23,6 +23,16 @@ type Metrics struct {
 	Swaps   *telemetry.Counter
 	// SerialGaps counts journals rejected for non-contiguous serials.
 	SerialGaps *telemetry.Counter
+	// PendingJournals gauges journal files on disk not yet applied —
+	// the mirror's serial lag in files.
+	PendingJournals *telemetry.Gauge
+	// LastApplyUnix is the unix time of the last successful apply or
+	// resync (0 until the first).
+	LastApplyUnix *telemetry.Gauge
+	// ApplyToSwapSeconds is the end-to-end freshness latency of one
+	// journal: read + incremental apply + downstream OnSwap (report
+	// rebuild, store swap) until the new data is serveable.
+	ApplyToSwapSeconds *telemetry.Histogram
 }
 
 // NewMetrics registers the mirror metrics in reg (the default registry
@@ -44,6 +54,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Database snapshot swaps."),
 		SerialGaps: reg.Counter("rpslyzer_nrtm_serial_gaps_total",
 			"Journals rejected for non-contiguous serials."),
+		PendingJournals: reg.Gauge("rpslyzer_nrtm_pending_journals",
+			"Journal files on disk not yet applied."),
+		LastApplyUnix: reg.Gauge("rpslyzer_nrtm_last_apply_unix",
+			"Unix time of the last successful journal apply or resync."),
+		ApplyToSwapSeconds: reg.Histogram("rpslyzer_nrtm_apply_to_swap_seconds",
+			"Journal-apply-to-swap latency including downstream rebuild hooks.", nil),
 	}
 }
 
@@ -61,6 +77,21 @@ func (m *Metrics) applied(ops int) {
 	m.SerialsApplied.Add(int64(ops))
 	m.ObjectsTouched.Add(int64(ops))
 	m.Swaps.Inc()
+}
+
+func (m *Metrics) pending(n int) {
+	if m == nil {
+		return
+	}
+	m.PendingJournals.Set(int64(n))
+}
+
+func (m *Metrics) swapDone(unix int64, secs float64) {
+	if m == nil {
+		return
+	}
+	m.LastApplyUnix.Set(unix)
+	m.ApplyToSwapSeconds.Observe(secs)
 }
 
 func (m *Metrics) gap() {

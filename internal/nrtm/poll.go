@@ -12,6 +12,7 @@ import (
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
+	"rpslyzer/internal/trace"
 )
 
 // PollConfig drives Poll, the shared mirror loop behind whoisd and
@@ -29,8 +30,14 @@ type PollConfig struct {
 	Reload func() (*ir.IR, error)
 	// OnSwap is called with the mirror's new database after every
 	// applied journal and after every resync — the hot-swap hook
-	// (whois.Server.SetDB, or a report-store rebuild).
-	OnSwap func(db *irr.Database)
+	// (whois.Server.SetDB, or a report-store rebuild). The span, when
+	// non-nil, is the enclosing journal-apply trace span; downstream
+	// work (verify, store build, swap) should hang child spans off it
+	// so one trace covers journal-apply → rebuild → swap.
+	OnSwap func(db *irr.Database, sp *trace.Span)
+	// Tracer, when non-nil, traces each journal apply and resync under
+	// the "mirror" stage.
+	Tracer *trace.Tracer
 }
 
 func (c *PollConfig) logger() *slog.Logger {
@@ -60,6 +67,13 @@ func Poll(mir *Mirror, cfg PollConfig, stop <-chan struct{}) {
 			cfg.logger().Warn("mirror: journal dir unreadable", "dir", cfg.JournalDir, "err", err)
 			continue
 		}
+		pending := 0
+		for _, name := range names {
+			if !applied[name] {
+				pending++
+			}
+		}
+		mir.metrics.pending(pending)
 		for _, name := range names {
 			if applied[name] {
 				continue
@@ -93,16 +107,33 @@ func journalNames(dir string) ([]string, error) {
 }
 
 func applyOne(mir *Mirror, cfg *PollConfig, path string) error {
+	root := cfg.Tracer.Start("mirror", "journal-apply")
+	root.Set("journal", filepath.Base(path))
+	t0 := time.Now()
+
+	read := root.Child("read-journal")
 	j, err := ReadJournalFile(path)
+	read.End()
 	if err != nil {
+		root.Set("error", err.Error()).End()
 		return err
 	}
-	if err := mir.Apply(j); err != nil {
+	root.Set("registry", j.Registry).SetInt("ops", int64(len(j.Ops)))
+
+	apply := root.Child("apply")
+	err = mir.Apply(j)
+	apply.End()
+	if err != nil {
+		root.Set("error", err.Error()).End()
 		return err
 	}
 	if cfg.OnSwap != nil {
-		cfg.OnSwap(mir.DB())
+		swap := root.Child("onswap")
+		cfg.OnSwap(mir.DB(), swap)
+		swap.End()
 	}
+	mir.metrics.swapDone(time.Now().Unix(), time.Since(t0).Seconds())
+	root.End()
 	cfg.logger().Info("mirror: applied journal",
 		"registry", j.Registry, "serials", fmt.Sprintf("%d-%d", j.First, j.Last), "ops", len(j.Ops))
 	return nil
@@ -114,14 +145,23 @@ func resync(mir *Mirror, cfg *PollConfig, applied map[string]bool) error {
 	if cfg.Reload == nil {
 		return fmt.Errorf("nrtm: resync needed but no Reload configured")
 	}
+	root := cfg.Tracer.Start("mirror", "resync")
+	reload := root.Child("reload")
 	x, err := cfg.Reload()
+	reload.End()
 	if err != nil {
+		root.Set("error", err.Error()).End()
 		return err
 	}
+	t0 := time.Now()
 	mir.Resync(x, nil)
 	if cfg.OnSwap != nil {
-		cfg.OnSwap(mir.DB())
+		swap := root.Child("onswap")
+		cfg.OnSwap(mir.DB(), swap)
+		swap.End()
 	}
+	mir.metrics.swapDone(time.Now().Unix(), time.Since(t0).Seconds())
+	root.End()
 	for name := range applied {
 		delete(applied, name)
 	}

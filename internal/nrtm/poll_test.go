@@ -14,6 +14,7 @@ import (
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/render"
+	"rpslyzer/internal/trace"
 )
 
 // pollFixture evolves the synthetic universe n steps and writes each
@@ -59,7 +60,7 @@ func TestPollAppliesJournalsAndSwaps(t *testing.T) {
 		nrtm.Poll(mir, nrtm.PollConfig{
 			JournalDir: dir,
 			Interval:   5 * time.Millisecond,
-			OnSwap: func(db *irr.Database) {
+			OnSwap: func(db *irr.Database, _ *trace.Span) {
 				mu.Lock()
 				swaps++
 				lastDB = db

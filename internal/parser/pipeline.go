@@ -8,6 +8,7 @@ import (
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/rpsl"
+	"rpslyzer/internal/trace"
 )
 
 // SeqChunk tags a Chunk with its global sequence number so the merge
@@ -54,6 +55,11 @@ type LoadStats struct {
 	// registry (and adds latency histograms the plain counters lack).
 	// Set it before the pipeline starts.
 	Metrics *PipelineMetrics
+
+	// Trace, when non-nil, records sampled per-chunk spans under the
+	// "ingest" stage (source, bytes, objects per chunk). Set it before
+	// the pipeline starts.
+	Trace *trace.Tracer
 
 	bytes   atomic.Int64
 	objects atomic.Int64
@@ -170,9 +176,13 @@ func ParseChunk(c Chunk, seq, worker int) ChunkResult {
 // chunk completes.
 func ParseChunks(in <-chan SeqChunk, workers int, stats *LoadStats) <-chan ChunkResult {
 	workers = DefaultWorkers(workers)
-	var m *PipelineMetrics
+	var (
+		m  *PipelineMetrics
+		tr *trace.Tracer
+	)
 	if stats != nil {
 		m = stats.Metrics
+		tr = stats.Trace
 	}
 	out := make(chan ChunkResult, workers)
 	var wg sync.WaitGroup
@@ -182,7 +192,12 @@ func ParseChunks(in <-chan SeqChunk, workers int, stats *LoadStats) <-chan Chunk
 			defer wg.Done()
 			for sc := range in {
 				sp := m.chunkSpan()
+				tsp := tr.Start("ingest", "parse-chunk")
 				res := ParseChunk(sc.Chunk, sc.Seq, worker)
+				tsp.Set("source", res.Source).
+					SetInt("bytes", int64(res.Bytes)).
+					SetInt("objects", int64(res.Objects)).
+					End()
 				sp.End()
 				if stats != nil {
 					stats.record(&res)

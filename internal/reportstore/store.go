@@ -195,6 +195,7 @@ func (s *Store) Swap(snap *Snapshot) uint64 {
 		s.m.Routes.Set(int64(snap.NumRoutes()))
 		s.m.Checks.Set(int64(snap.NumChecks()))
 		s.m.ASes.Set(int64(len(snap.asns)))
+		s.m.LastSwapUnix.Set(time.Now().Unix())
 	}
 	return serial
 }
@@ -207,6 +208,9 @@ type Metrics struct {
 	Swaps                *telemetry.Counter
 	Routes, Checks, ASes *telemetry.Gauge
 	BuildSeconds         *telemetry.Histogram
+	// LastSwapUnix is the unix time of the last published snapshot —
+	// the numerator of the freshness SLO (snapshot age = now - this).
+	LastSwapUnix *telemetry.Gauge
 }
 
 // NewMetrics registers the store instruments on reg (idempotent).
@@ -220,5 +224,6 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		Checks:       reg.Gauge("rpslyzer_report_store_checks", "Checks in the served snapshot."),
 		ASes:         reg.Gauge("rpslyzer_report_store_ases", "Distinct ASes indexed in the served snapshot."),
 		BuildSeconds: reg.Histogram("rpslyzer_report_store_build_seconds", "Snapshot build (freeze) latency.", nil),
+		LastSwapUnix: reg.Gauge("rpslyzer_report_store_last_swap_unix", "Unix time of the last published snapshot."),
 	}
 }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+)
+
+// BuildInfoLabels collects the process's build identity from the
+// binary's embedded module info: go_version, main module version, and
+// (when built inside a git checkout) the VCS revision, commit time, and
+// dirty flag.
+func BuildInfoLabels() map[string]string {
+	labels := map[string]string{
+		"go_version": runtime.Version(),
+		"version":    "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return labels
+	}
+	if bi.Main.Version != "" {
+		labels["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			labels["revision"] = rev
+		case "vcs.time":
+			labels["commit_time"] = s.Value
+		case "vcs.modified":
+			labels["dirty"] = s.Value
+		}
+	}
+	return labels
+}
+
+// RegisterBuildInfo registers the rpslyzer_build_info gauge (constant
+// 1, labels from BuildInfoLabels) and returns the labels so callers
+// can log them at startup.
+func RegisterBuildInfo(r *Registry) map[string]string {
+	labels := BuildInfoLabels()
+	return r.Info("rpslyzer_build_info",
+		"Build identity of this binary: Go version, module version, VCS revision.",
+		labels).Labels()
+}
+
+// BuildInfoArgs flattens build-info labels into slog key/value pairs
+// in a stable key order, for the conventional startup log line:
+//
+//	logger.Info("build info", telemetry.BuildInfoArgs(telemetry.RegisterBuildInfo(reg))...)
+func BuildInfoArgs(labels map[string]string) []any {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	args := make([]any, 0, 2*len(keys))
+	for _, k := range keys {
+		args = append(args, k, labels[k])
+	}
+	return args
+}

@@ -35,6 +35,10 @@ func (r *Registry) expvarValue() map[string]any {
 			out[name] = v.Value()
 		case *Gauge:
 			out[name] = v.Value()
+		case *GaugeFunc:
+			out[name] = v.Value()
+		case *Info:
+			out[name] = v.Labels()
 		case *LabeledCounter:
 			out[name] = v.Values()
 		case *Histogram:

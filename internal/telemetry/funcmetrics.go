@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GaugeFunc is a gauge whose value is computed by a callback at scrape
+// time — the bridge for values already maintained elsewhere (runtime
+// statistics, watchdog staleness, store serials) that would be wasteful
+// to mirror into an atomic on every change.
+type GaugeFunc struct {
+	d  desc
+	fn func() float64
+}
+
+func (g *GaugeFunc) describe() desc   { return g.d }
+func (g *GaugeFunc) promType() string { return "gauge" }
+
+// Value invokes the callback. Nil-safe.
+func (g *GaugeFunc) Value() float64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// GaugeFunc registers a callback gauge. Idempotent by name: a second
+// registration returns the first gauge and its callback, ignoring fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	m := r.register(name, func() metric { return &GaugeFunc{d: desc{name, help}, fn: fn} })
+	g, ok := m.(*GaugeFunc)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as a %s", name, m.promType()))
+	}
+	return g
+}
+
+// Info is a constant gauge of value 1 carrying identity labels — the
+// Prometheus convention for build/version metadata, joinable onto any
+// other series (`rpslyzer_build_info{go_version="go1.24", ...} 1`).
+type Info struct {
+	d      desc
+	labels []labelPair // sorted by key
+}
+
+type labelPair struct{ k, v string }
+
+func (i *Info) describe() desc   { return i.d }
+func (i *Info) promType() string { return "gauge" }
+
+// Labels returns a copy of the info labels.
+func (i *Info) Labels() map[string]string {
+	if i == nil {
+		return nil
+	}
+	out := make(map[string]string, len(i.labels))
+	for _, p := range i.labels {
+		out[p.k] = p.v
+	}
+	return out
+}
+
+// Info registers a constant info gauge with the given labels.
+// Idempotent by name: the first registration's labels win.
+func (r *Registry) Info(name, help string, labels map[string]string) *Info {
+	m := r.register(name, func() metric {
+		pairs := make([]labelPair, 0, len(labels))
+		for k, v := range labels {
+			pairs = append(pairs, labelPair{k, v})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+		return &Info{d: desc{name, help}, labels: pairs}
+	})
+	i, ok := m.(*Info)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %s already registered as a %s", name, m.promType()))
+	}
+	return i
+}

@@ -189,15 +189,39 @@ func (s Span) End() {
 	s.h.ObserveSince(s.t0)
 }
 
+// DefaultMaxLabelValues is how many distinct label values a
+// LabeledCounter tracks before routing new values into OverflowLabel.
+const DefaultMaxLabelValues = 1024
+
+// OverflowLabel is the bucket that absorbs label values past the
+// cardinality limit, so attacker- or input-controlled labels (e.g.
+// per-AS keys) cannot grow a counter vector without bound.
+const OverflowLabel = "_other"
+
 // LabeledCounter is a counter vector over one label dimension (e.g.
 // parse errors per source registry). Children are created on first
-// use and live forever; keep label cardinality small.
+// use and live forever. Distinct label values are capped (default
+// DefaultMaxLabelValues); past the cap, new values land in the
+// OverflowLabel child.
 type LabeledCounter struct {
 	d     desc
 	label string
+	limit int
 
 	mu       sync.RWMutex
 	children map[string]*atomic.Int64
+}
+
+// SetLimit overrides the distinct-label cap. Values already tracked
+// stay; only the admission of new label values changes. Intended for
+// tests and for vectors with known-tiny cardinality.
+func (c *LabeledCounter) SetLimit(n int) {
+	if c == nil || n < 1 {
+		return
+	}
+	c.mu.Lock()
+	c.limit = n
+	c.mu.Unlock()
 }
 
 // Add adds n to the child counter for the label value.
@@ -249,6 +273,14 @@ func (c *LabeledCounter) child(labelValue string) *atomic.Int64 {
 	defer c.mu.Unlock()
 	if v, ok := c.children[labelValue]; ok {
 		return v
+	}
+	if c.limit > 0 && len(c.children) >= c.limit && labelValue != OverflowLabel {
+		// Cardinality cap reached: fold this value into the overflow
+		// bucket (which may itself be the limit+1-th child).
+		if v, ok := c.children[OverflowLabel]; ok {
+			return v
+		}
+		labelValue = OverflowLabel
 	}
 	v = new(atomic.Int64)
 	c.children[labelValue] = v

@@ -26,6 +26,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", d.name, v.Value())
 		case *Gauge:
 			fmt.Fprintf(bw, "%s %d\n", d.name, v.Value())
+		case *GaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", d.name, formatFloat(v.Value()))
+		case *Info:
+			bw.WriteString(d.name)
+			bw.WriteByte('{')
+			for i, p := range v.labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%s=%q", p.k, p.v)
+			}
+			bw.WriteString("} 1\n")
 		case *LabeledCounter:
 			vals := v.Values()
 			keys := make([]string, 0, len(vals))

@@ -97,7 +97,12 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 // vector.
 func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
 	m := r.register(name, func() metric {
-		return &LabeledCounter{d: desc{name, help}, label: label, children: make(map[string]*atomic.Int64)}
+		return &LabeledCounter{
+			d:        desc{name, help},
+			label:    label,
+			limit:    DefaultMaxLabelValues,
+			children: make(map[string]*atomic.Int64),
+		}
 	})
 	c, ok := m.(*LabeledCounter)
 	if !ok {

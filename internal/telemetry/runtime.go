@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSampler batches runtime/metrics reads behind a short TTL so
+// that a registry with many runtime gauges costs one metrics.Read per
+// scrape, not one per gauge.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	ttl     time.Duration
+	samples []metrics.Sample
+	byName  map[string]int
+}
+
+func newRuntimeSampler(names []string, ttl time.Duration) *runtimeSampler {
+	s := &runtimeSampler{ttl: ttl, byName: make(map[string]int, len(names))}
+	for i, n := range names {
+		s.samples = append(s.samples, metrics.Sample{Name: n})
+		s.byName[n] = i
+	}
+	return s
+}
+
+// refreshLocked re-reads the runtime metrics when the cache is stale.
+func (s *runtimeSampler) refreshLocked() {
+	if now := time.Now(); now.Sub(s.last) >= s.ttl {
+		metrics.Read(s.samples)
+		s.last = now
+	}
+}
+
+// value returns the named sample as a float64 (uint64 and float64
+// kinds; 0 for histograms and unsupported metrics).
+func (s *runtimeSampler) value(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	sm := s.samples[s.byName[name]]
+	switch sm.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sm.Value.Uint64())
+	case metrics.KindFloat64:
+		return sm.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// percentile returns the p-quantile (0 < p < 1) of a runtime histogram
+// metric, approximated by the lower bound of the bucket containing the
+// quantile.
+func (s *runtimeSampler) percentile(name string, p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	sm := s.samples[s.byName[name]]
+	if sm.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sm.Value.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(p * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i] is the lower bound of Counts[i]; the first
+			// bucket's lower bound may be -Inf.
+			b := h.Buckets[i]
+			if b < 0 {
+				return 0
+			}
+			return b
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Runtime metric names (see runtime/metrics.All for the catalogue).
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmSchedLat   = "/sched/latencies:seconds"
+)
+
+// RegisterRuntimeMetrics registers a Go runtime collector (goroutine
+// count, heap bytes, GC cycles and pause percentiles, scheduler
+// latency percentiles) into the registry as callback gauges sampled at
+// scrape time with a 1-second batch cache.
+func RegisterRuntimeMetrics(r *Registry) {
+	// Only sample names this Go version actually exposes; unknown
+	// names report KindBad and render as 0.
+	known := map[string]bool{}
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	names := []string{}
+	for _, n := range []string{rmGoroutines, rmHeapBytes, rmGCCycles, rmGCPauses, rmSchedLat} {
+		if known[n] {
+			names = append(names, n)
+		}
+	}
+	s := newRuntimeSampler(names, time.Second)
+	reg := func(name, help, rm string, fn func(string) float64) {
+		if known[rm] {
+			r.GaugeFunc(name, help, func() float64 { return fn(rm) })
+		}
+	}
+	reg("go_goroutines", "Number of live goroutines.", rmGoroutines, s.value)
+	reg("go_heap_objects_bytes", "Bytes of memory occupied by live heap objects.", rmHeapBytes, s.value)
+	reg("go_gc_cycles_total", "Completed GC cycles since process start.", rmGCCycles, s.value)
+	reg("go_gc_pause_p50_seconds", "Median stop-the-world GC pause.", rmGCPauses,
+		func(n string) float64 { return s.percentile(n, 0.50) })
+	reg("go_gc_pause_p99_seconds", "99th percentile stop-the-world GC pause.", rmGCPauses,
+		func(n string) float64 { return s.percentile(n, 0.99) })
+	reg("go_sched_latency_p50_seconds", "Median goroutine scheduling latency.", rmSchedLat,
+		func(n string) float64 { return s.percentile(n, 0.50) })
+	reg("go_sched_latency_p99_seconds", "99th percentile goroutine scheduling latency.", rmSchedLat,
+		func(n string) float64 { return s.percentile(n, 0.99) })
+}

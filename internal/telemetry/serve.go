@@ -18,10 +18,19 @@ type MetricsServer struct {
 	srv *http.Server
 }
 
+// Mount attaches an extra handler to the operational endpoint, e.g.
+// the tracing debug surface at /debug/trace/.
+type Mount struct {
+	// Pattern is an http.ServeMux pattern ("/debug/trace/").
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts the operational endpoint on addr (e.g. ":9090" or
 // "127.0.0.1:0") for the given registry, publishing it in expvar as a
-// side effect. It returns once the listener is bound.
-func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+// side effect, plus any extra mounts. It returns once the listener is
+// bound.
+func Serve(addr string, reg *Registry, mounts ...Mount) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -35,6 +44,11 @@ func Serve(addr string, reg *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		if m.Handler != nil {
+			mux.Handle(m.Pattern, m.Handler)
+		}
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	ms := &MetricsServer{ln: ln, srv: srv}
 	go srv.Serve(ln)

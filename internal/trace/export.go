@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SpanJSON is the plain-JSON export shape of one span.
+type SpanJSON struct {
+	ID       uint32  `json:"id"`
+	Parent   uint32  `json:"parent,omitempty"`
+	Name     string  `json:"name"`
+	StartUS  int64   `json:"start_us"`
+	DurUS    float64 `json:"dur_us"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Open     bool    `json:"open,omitempty"`
+	Children int     `json:"-"`
+}
+
+// TraceJSON is the plain-JSON export shape of one trace.
+type TraceJSON struct {
+	ID      uint64     `json:"id"`
+	Stage   string     `json:"stage"`
+	StartUS int64      `json:"start_us"`
+	DurUS   float64    `json:"dur_us"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// Export snapshots a trace into its JSON shape. Open spans (End not
+// yet called) are flagged and reported with zero duration.
+func (t *Trace) Export() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{
+		ID:      t.id,
+		Stage:   t.stage,
+		StartUS: t.start.UnixMicro(),
+		Spans:   make([]SpanJSON, 0, len(t.spans)),
+	}
+	for _, sp := range t.spans {
+		dur := sp.durNS.Load()
+		sj := SpanJSON{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Name:    sp.name,
+			StartUS: sp.start.UnixMicro(),
+			DurUS:   float64(dur) / 1e3,
+			Open:    dur == 0,
+		}
+		if len(sp.attrs) > 0 {
+			sj.Attrs = append([]Attr(nil), sp.attrs...)
+		}
+		out.Spans = append(out.Spans, sj)
+	}
+	if len(out.Spans) > 0 {
+		out.DurUS = out.Spans[0].DurUS
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format, the JSON
+// schema Perfetto and chrome://tracing load natively. "X" events are
+// complete spans (ts + dur, microseconds); "M" events carry metadata
+// such as thread names.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the given traces as a Chrome trace-event
+// JSON document. Each stage becomes its own named track (tid), so a
+// mirror→rebuild→serve run shows the stages as parallel timelines.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	// Stable stage → tid mapping, sorted for deterministic output.
+	stageSet := map[string]bool{}
+	for _, tr := range traces {
+		stageSet[tr.Stage()] = true
+	}
+	stages := make([]string, 0, len(stageSet))
+	for s := range stageSet {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	tids := make(map[string]int, len(stages))
+	var events []chromeEvent
+	for i, s := range stages {
+		tids[s] = i + 1
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   i + 1,
+			Args:  map[string]any{"name": "stage:" + s},
+		})
+	}
+	for _, tr := range traces {
+		tj := tr.Export()
+		tid := tids[tj.Stage]
+		for _, sp := range tj.Spans {
+			dur := sp.DurUS
+			if dur <= 0 {
+				dur = 0.001 // open/instant spans still render
+			}
+			args := map[string]any{
+				"trace": tj.ID,
+				"span":  sp.ID,
+			}
+			if sp.Parent != 0 {
+				args["parent"] = sp.Parent
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name:  sp.Name,
+				Phase: "X",
+				TS:    sp.StartUS,
+				Dur:   dur,
+				PID:   1,
+				TID:   tid,
+				Args:  args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns an http.Handler serving the tracer's debug surface.
+// It registers absolute paths so it can be mounted directly on a mux
+// that strips nothing:
+//
+//	/debug/trace/summary  per-stage sampling and latency statistics
+//	/debug/trace/recent   most recent finished traces, newest first
+//	/debug/trace/slowest  slowest finished traces, slowest first
+//	/debug/trace/chrome   Chrome trace-event JSON (open in Perfetto)
+//	/debug/trace/topk     heavy-hitter sketches (?name=...&n=...)
+func (t *Tracer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/trace/summary", t.handleSummary)
+	mux.HandleFunc("/debug/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		t.handleTraces(w, r, t.Recent())
+	})
+	mux.HandleFunc("/debug/trace/slowest", func(w http.ResponseWriter, r *http.Request) {
+		t.handleTraces(w, r, t.Slowest())
+	})
+	mux.HandleFunc("/debug/trace/chrome", t.handleChrome)
+	mux.HandleFunc("/debug/trace/topk", t.handleTopK)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func (t *Tracer) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Stages []StageSummary `json:"stages"`
+		TopKs  []string       `json:"topk_sketches,omitempty"`
+	}{Stages: t.Summary(), TopKs: t.topkNames()})
+}
+
+// limitParam parses ?n= with a default and an upper bound.
+func limitParam(r *http.Request, def, max int) int {
+	n := def
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+func (t *Tracer) handleTraces(w http.ResponseWriter, r *http.Request, traces []*Trace) {
+	n := limitParam(r, len(traces), len(traces))
+	out := make([]TraceJSON, 0, n)
+	for _, tr := range traces[:n] {
+		out = append(out, tr.Export())
+	}
+	writeJSON(w, struct {
+		Traces []TraceJSON `json:"traces"`
+	}{Traces: out})
+}
+
+func (t *Tracer) handleChrome(w http.ResponseWriter, r *http.Request) {
+	// Merge recent and slowest, deduplicated by trace ID, so the
+	// export shows both the latest activity and the outliers.
+	seen := map[uint64]bool{}
+	var traces []*Trace
+	for _, tr := range append(t.Recent(), t.Slowest()...) {
+		if !seen[tr.ID()] {
+			seen[tr.ID()] = true
+			traces = append(traces, tr)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="rpslyzer-trace.json"`)
+	WriteChromeTrace(w, traces) //nolint:errcheck // client went away
+}
+
+func (t *Tracer) handleTopK(w http.ResponseWriter, r *http.Request) {
+	n := limitParam(r, 20, 1000)
+	names := t.topkNames()
+	if want := r.URL.Query().Get("name"); want != "" {
+		if t.TopKSketch(want) == nil {
+			http.Error(w, "unknown sketch: "+want, http.StatusNotFound)
+			return
+		}
+		names = []string{want}
+	}
+	out := make(map[string][]Entry, len(names))
+	for _, name := range names {
+		out[name] = t.TopKSketch(name).Top(n)
+	}
+	writeJSON(w, out)
+}

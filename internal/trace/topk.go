@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a weighted space-saving sketch (Metwally et al.): it tracks
+// the heaviest keys of a stream in O(capacity) memory. When a new key
+// arrives and the sketch is full, the minimum-weight entry is evicted
+// and the newcomer inherits its weight as an overestimation bound —
+// Entry.MaxError reports how much of an entry's weight may belong to
+// evicted keys. Heavy hitters (keys whose true weight exceeds the
+// stream total / capacity) are guaranteed to be present.
+//
+// A nil *TopK is a no-op, so profiling call sites need no guards.
+type TopK struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*topkEntry
+}
+
+type topkEntry struct {
+	key    string
+	weight float64
+	count  int64
+	errW   float64 // weight inherited from the evicted minimum
+}
+
+// Entry is one reported heavy hitter.
+type Entry struct {
+	Key string `json:"key"`
+	// Weight is the accumulated (over)estimate; at most MaxError of it
+	// may belong to previously evicted keys.
+	Weight   float64 `json:"weight"`
+	Count    int64   `json:"count"`
+	MaxError float64 `json:"max_error,omitempty"`
+}
+
+// NewTopK creates a sketch tracking up to capacity keys (minimum 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{cap: capacity, m: make(map[string]*topkEntry, capacity)}
+}
+
+// Observe adds weight w to key. Negative weights are ignored.
+func (t *TopK) Observe(key string, w float64) {
+	if t == nil || w < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[key]; ok {
+		e.weight += w
+		e.count++
+		return
+	}
+	if len(t.m) < t.cap {
+		t.m[key] = &topkEntry{key: key, weight: w, count: 1}
+		return
+	}
+	// Full: evict the minimum-weight entry; the newcomer inherits its
+	// weight (the space-saving overestimate) and error bound.
+	var min *topkEntry
+	for _, e := range t.m {
+		if min == nil || e.weight < min.weight {
+			min = e
+		}
+	}
+	delete(t.m, min.key)
+	t.m[key] = &topkEntry{key: key, weight: min.weight + w, count: min.count + 1, errW: min.weight}
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Top returns the n heaviest entries, heaviest first (ties broken by
+// key for determinism). n <= 0 returns every tracked entry.
+func (t *TopK) Top(n int) []Entry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Entry, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, Entry{Key: e.key, Weight: e.weight, Count: e.count, MaxError: e.errW})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package verify
 
 import (
+	"time"
+
 	"rpslyzer/internal/ir"
 )
 
@@ -13,7 +15,13 @@ func (v *Verifier) program(an *ir.AutNum) *autnumProg {
 		v.metrics.programCacheHit()
 		return p.(*autnumProg)
 	}
+	tsp := v.tracer.Start("compile", "compile-autnum")
 	p := v.compileAutNum(an)
+	if tsp != nil {
+		tsp.SetInt("as", int64(uint32(an.ASN))).
+			SetInt("rules", int64(len(an.Imports)+len(an.Exports)))
+		tsp.End()
+	}
 	if actual, loaded := v.progCache.LoadOrStore(an, p); loaded {
 		return actual.(*autnumProg)
 	}
@@ -31,6 +39,10 @@ func (v *Verifier) execAutNum(an *ir.AutNum, ctx *evalCtx) (Status, []Reason) {
 		progs = prog.exports
 	}
 	sp := v.metrics.programSpan()
+	var execT0 time.Time
+	if sampled := v.profiler.sampleExec(); sampled {
+		execT0 = time.Now()
+	}
 	best := Unverified
 	// Accumulate into the context's scratch buffer: dedupReasons
 	// copies out, so the buffer is reused check after check.
@@ -41,6 +53,9 @@ func (v *Verifier) execAutNum(an *ir.AutNum, ctx *evalCtx) (Status, []Reason) {
 			best = st
 			if st == Verified {
 				sp.End()
+				if !execT0.IsZero() {
+					v.profiler.observeExec(ctx.self, time.Since(execT0))
+				}
 				return Verified, nil
 			}
 		}
@@ -48,6 +63,9 @@ func (v *Verifier) execAutNum(an *ir.AutNum, ctx *evalCtx) (Status, []Reason) {
 	}
 	ctx.scratch = reasons
 	sp.End()
+	if !execT0.IsZero() {
+		v.profiler.observeExec(ctx.self, time.Since(execT0))
+	}
 	return best, reasons
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"rpslyzer/internal/asrel"
 	"rpslyzer/internal/bgpsim"
@@ -26,6 +27,37 @@ type RouteReport struct {
 // single-AS routes and AS-set routes are ignored, as in the paper
 // (0.06% and 0.03% of routes respectively).
 func (v *Verifier) VerifyRoute(route bgpsim.Route) RouteReport {
+	if v.profiler == nil && v.tracer == nil {
+		return v.verifyRouteMetered(route)
+	}
+	// Both samplers decide up front so unsampled routes skip the clock
+	// reads, the key allocations, and the sketch mutexes entirely.
+	tsp := v.tracer.Start("verify", "verify-route")
+	sampled := v.profiler.sampleRoute()
+	if tsp == nil && !sampled {
+		return v.verifyRouteMetered(route)
+	}
+	t0 := time.Now()
+	rep := v.verifyRouteMetered(route)
+	d := time.Since(t0)
+	if sampled {
+		v.profiler.observeRoute(&route, &rep, d)
+	}
+	if tsp != nil {
+		tsp.Set("prefix", route.Prefix.String()).
+			SetInt("path_len", int64(len(route.Path))).
+			SetInt("checks", int64(len(rep.Checks)))
+		if rep.Ignored != "" {
+			tsp.Set("ignored", rep.Ignored)
+		}
+		tsp.End()
+	}
+	return rep
+}
+
+// verifyRouteMetered is the pre-tracing VerifyRoute body: route cache
+// plus telemetry counters/histograms.
+func (v *Verifier) verifyRouteMetered(route bgpsim.Route) RouteReport {
 	sp := v.metrics.routeSpan()
 	defer sp.End()
 	if v.cfg.EnableRouteCache {

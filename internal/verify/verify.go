@@ -18,6 +18,7 @@ import (
 	"rpslyzer/internal/asrel"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
+	"rpslyzer/internal/trace"
 )
 
 // Status is the verification status of one import or export check,
@@ -307,6 +308,12 @@ type Verifier struct {
 	// metrics, when non-nil, mirrors verification counters into a
 	// telemetry registry (set with SetMetrics).
 	metrics *Metrics
+
+	// tracer, when non-nil, emits sampled route/compile trace spans
+	// (set with SetTracer); profiler, when non-nil, feeds heavy-hitter
+	// sketches (set with SetProfiler).
+	tracer   *trace.Tracer
+	profiler *Profiler
 }
 
 // New creates a Verifier.

@@ -22,6 +22,7 @@ import (
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/trace"
 )
 
 // Server serves whois queries from an IRR database.
@@ -46,6 +47,9 @@ type Server struct {
 	// registry for the !j query (set before Listen; typically
 	// nrtm.Mirror.Serials).
 	SerialSource func() map[string]uint64
+	// Tracer, when non-nil, records sampled per-query spans under the
+	// "whois" stage (set before Listen).
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -177,8 +181,11 @@ func (s *Server) handle(conn io.ReadWriter) {
 		s.Metrics.connDropped()
 		return
 	}
+	q := strings.TrimSpace(line)
 	sp := s.Metrics.querySpan()
-	resp := s.Query(strings.TrimSpace(line))
+	tsp := s.Tracer.Start("whois", "query")
+	resp := s.Query(q)
+	tsp.Set("query", q).SetInt("bytes", int64(len(resp))).End()
 	sp.End()
 	s.Metrics.observeQuery(len(resp))
 	if _, err := io.WriteString(conn, resp); err != nil {

@@ -21,6 +21,13 @@
 #      API over both transports (in-process and loopback TCP), written
 #      to BENCH_api.json; the in-process cache-hit run must sustain
 #      >= 100k QPS
+#  11. trace smoke — reportd -mirror over the generated universe, driven
+#      by apiload, then scraped: /debug/trace/summary answers, /metrics
+#      exposes rpslyzer_build_info, and /healthz reports healthy
+#
+# The verify bench smoke also gates observability overhead: the traced
+# VerifyAll run (reportd's default sampling plus the heavy-hitter
+# profiler) must stay within 5% of the untraced compiled run.
 #
 # Usage: scripts/verify.sh [package-pattern]   (default ./...)
 set -eu
@@ -55,9 +62,17 @@ echo "== NRTM bench smoke (BenchmarkApplyJournal vs BenchmarkFullReparse, 1x)"
 go test -run '^$' -bench '^(BenchmarkApplyJournal|BenchmarkFullReparse)$' -benchtime 1x -json . > BENCH_nrtm.json
 grep -q '"Action":"pass"' BENCH_nrtm.json
 
-echo "== verify bench smoke (BenchmarkVerifyAll compiled+interp, BenchmarkOriginsOf, 1x)"
-go test -run '^$' -bench '^(BenchmarkVerifyAll|BenchmarkOriginsOf)$' -benchtime 1x -json . > BENCH_verify.json
+echo "== verify bench smoke (BenchmarkVerifyAll compiled+interp+traced, BenchmarkOriginsOf)"
+go test -run '^$' -bench '^(BenchmarkVerifyAll|BenchmarkVerifyAllTraced|BenchmarkOriginsOf)$' -benchtime 2x -count 3 -json . > BENCH_verify.json
 grep -q '"Action":"pass"' BENCH_verify.json
+# Tracing overhead gate: the traced run must stay within 5% of the
+# untraced compiled run. min-of-3 on both sides keeps scheduler/GC
+# noise (which dwarfs the ~1% real overhead) from flaking the gate.
+base_ns=$(grep '"Test":"BenchmarkVerifyAll/compiled"' BENCH_verify.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+traced_ns=$(grep '"Test":"BenchmarkVerifyAllTraced"' BENCH_verify.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+[ -n "$base_ns" ] && [ -n "$traced_ns" ]
+echo "VerifyAll ns/op: untraced=$base_ns traced=$traced_ns"
+awk "BEGIN { ratio = $traced_ns / $base_ns; printf \"tracing overhead: %.1f%%\n\", 100 * (ratio - 1); exit !(ratio <= 1.05) }"
 
 echo "== mirror smoke (irrgen -evolve 3 + cmd/nrtm replay)"
 smoke=$(mktemp -d)
@@ -75,5 +90,33 @@ grep -q '"qps"' BENCH_api.json
 inproc_qps=$(awk '/"inproc"/{grab=1} grab && /"qps"/{gsub(/[^0-9.]/,"",$2); print int($2); exit}' BENCH_api.json)
 echo "inproc QPS: $inproc_qps"
 [ "$inproc_qps" -ge 100000 ]
+
+echo "== trace smoke (reportd -mirror + apiload + /debug/trace scrape)"
+go build -o "$smoke/reportd" ./cmd/reportd
+"$smoke/reportd" -dumps "$smoke" -rels "$smoke/as-rel.txt" -routes "$smoke/routes.txt" \
+    -mirror "$smoke/journals" -mirror-interval 200ms -stale-after 5m \
+    -listen 127.0.0.1:0 -metrics-addr 127.0.0.1:0 -addr-file "$smoke/addrs" \
+    > "$smoke/reportd.out" 2>&1 &
+reportd_pid=$!
+trap 'kill "$reportd_pid" 2>/dev/null; rm -rf "$smoke"' EXIT
+tries=0
+while [ ! -s "$smoke/addrs" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 300 ] || ! kill -0 "$reportd_pid" 2>/dev/null; then
+        echo "reportd never wrote $smoke/addrs" >&2
+        cat "$smoke/reportd.out" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+api_addr=$(sed -n 's/^api=//p' "$smoke/addrs")
+metrics_addr=$(sed -n 's/^metrics=//p' "$smoke/addrs")
+go run ./cmd/apiload -addr "http://$api_addr" -duration 1s -out "$smoke/apiload.json"
+curl -fsS "http://$metrics_addr/debug/trace/summary" > "$smoke/trace-summary.json"
+grep -q '"stages"' "$smoke/trace-summary.json"
+grep -q '"api"' "$smoke/trace-summary.json"
+curl -fsS "http://$metrics_addr/metrics" | grep -q '^rpslyzer_build_info{'
+curl -fsS "http://$api_addr/healthz" | grep -q '"health": *"healthy"'
+kill "$reportd_pid"
 
 echo "verify: OK"
