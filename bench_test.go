@@ -15,6 +15,7 @@ import (
 	"rpslyzer/internal/asregex"
 	"rpslyzer/internal/bgpsim"
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/evolve"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
@@ -454,11 +455,19 @@ func BenchmarkAblationRouteCache(b *testing.B) {
 
 // journalFixture holds the NRTM benchmark inputs: a parsed base
 // snapshot, one evolution step's journals at 1% churn, and the next
-// snapshot's dump texts for the full-reparse baseline.
+// snapshot's dump texts for the full-reparse baseline. For the
+// incremental re-verification benchmark it also carries both snapshot
+// databases plus the touched-key sets for the A→B and B→A applies, so
+// BenchmarkReverify can flip-flop between the two states without ever
+// hitting a no-op delta.
 type journalFixture struct {
 	baseDB   *irr.Database
 	journals []*nrtm.Journal
 	next     map[string]string
+	dbB      *irr.Database  // snapshot after applying journals to baseDB
+	dbA2     *irr.Database  // snapshot after applying the reverse journals to dbB
+	keysAB   []depgraph.Key // touched keys of the A→B apply
+	keysBA   []depgraph.Key // touched keys of the B→A apply
 }
 
 var (
@@ -473,14 +482,34 @@ func getJournalFixture(b *testing.B) *journalFixture {
 		prev := f.sys.IR
 		cfg := irrgen.EvolveConfig{Seed: 42} // defaults: 1% policy/set churn
 		next := irrgen.Evolve(prev, 1, cfg)
-		journals := evolve.Compare(prev, next).ToJournals(prev, next, nil)
+		// One serial counter shared across both directions so the reverse
+		// journals continue where the forward ones left off; the forward
+		// batch still starts at serial 1, keeping it replayable from a
+		// fresh mirror of baseDB (BenchmarkApplyJournal relies on that).
+		serials := make(map[string]uint64)
+		journals := evolve.Compare(prev, next).ToJournals(prev, next, serials)
 		if len(journals) == 0 {
 			panic("evolution produced no journals")
+		}
+		reverse := evolve.Compare(next, prev).ToJournals(next, prev, serials)
+		mir := nrtm.NewMirrorDB(irr.New(prev), nil, nil)
+		keysAB, err := mir.ApplyAllKeys(journals)
+		if err != nil {
+			panic(err)
+		}
+		dbB := mir.DB()
+		keysBA, err := mir.ApplyAllKeys(reverse)
+		if err != nil {
+			panic(err)
 		}
 		jfix = journalFixture{
 			baseDB:   irr.New(prev),
 			journals: journals,
 			next:     render.IR(next),
+			dbB:      dbB,
+			dbA2:     mir.DB(),
+			keysAB:   keysAB,
+			keysBA:   keysBA,
 		}
 	})
 	return &jfix
@@ -557,6 +586,42 @@ func BenchmarkVerifyAll(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReverify measures one incremental re-verification step at
+// 1% churn: the engine starts warm on snapshot A, then each iteration
+// applies the touched-key delta for the next snapshot and re-executes
+// only the dirty routes. Iterations alternate A→B and B→A so every
+// step sees a real delta. verify.sh gates this against
+// BenchmarkVerifyAll/compiled — incremental must be ≥ 20× faster than
+// a from-scratch sweep (target ≥ 100×).
+func BenchmarkReverify(b *testing.B) {
+	f := getFixture(b)
+	jf := getJournalFixture(b)
+	inc, err := verify.NewIncremental(jf.baseDB, f.sys.Rels, verify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc.Init(f.routes, 0)
+	var dirtyRoutes, dirtyPrograms int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res verify.ReverifyResult
+		if i%2 == 0 {
+			res = inc.Reverify(jf.dbB, jf.keysAB, 0, nil)
+		} else {
+			res = inc.Reverify(jf.dbA2, jf.keysBA, 0, nil)
+		}
+		if res.Full {
+			b.Fatal("incremental step fell back to full verification")
+		}
+		if res.Routes == 0 {
+			b.Fatal("delta dirtied no routes")
+		}
+		dirtyRoutes, dirtyPrograms = res.Routes, len(res.Programs)
+	}
+	b.ReportMetric(float64(dirtyRoutes), "dirty-routes")
+	b.ReportMetric(float64(dirtyPrograms), "dirty-programs")
 }
 
 // BenchmarkVerifyAllTraced is BenchmarkVerifyAll/compiled with the

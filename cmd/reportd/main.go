@@ -42,6 +42,7 @@ import (
 	"rpslyzer/internal/asrel"
 	"rpslyzer/internal/bgpsim"
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/nrtm"
@@ -66,8 +67,10 @@ func main() {
 		cacheEntries   = flag.Int("cache-entries", 8192, "response cache capacity (entries; negative disables)")
 		pageSize       = flag.Int("page-size", 100, "default page length")
 		evalMode       = flag.String("eval", "compiled", "evaluation engine: 'compiled' or 'interp'")
-		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals; rebuild and hot-swap the store after each applied journal")
+		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals; re-verify and hot-swap the store after each applied journal")
 		mirrorInterval = flag.Duration("mirror-interval", 2*time.Second, "journal directory poll interval for -mirror")
+		fullReverify   = flag.Bool("full-reverify", false, "re-verify every route on every applied journal instead of only the routes the journal's delta can affect")
+		reconcileEvery = flag.Int("reconcile-every", 64, "run a full-verification reconciliation pass every N incremental applies, alerting on drift (0 disables)")
 		traceSamples   = flag.String("trace-sample", "verify=1024,compile=16,ingest=16,api=64", "per-stage trace sampling as stage=N pairs (1-in-N); unlisted stages trace every operation")
 		topK           = flag.Int("topk", 64, "heavy-hitter sketch capacity (slowest routes/ASes, hottest programs)")
 		staleAfter     = flag.Duration("stale-after", 0, "degrade /healthz when the served snapshot is older than this (0 disables; try 5x -mirror-interval)")
@@ -192,6 +195,18 @@ func main() {
 		db = irr.New(x)
 	}
 
+	// Mirror mode re-verifies incrementally by default: the dependency
+	// graph recorded at compile time invalidates only the programs and
+	// routes each journal's delta can affect. Full rebuilds remain for
+	// -full-reverify, -import (no engine state to patch), and the
+	// interpreter (no compiled programs to track).
+	incremental := *mirrorDir != "" && *importPath == "" && !*fullReverify
+	if incremental && *evalMode == "interp" {
+		logger.Warn("incremental re-verification requires the compiled engine; falling back to full rebuilds", "eval", *evalMode)
+		incremental = false
+	}
+	var inc *verify.Incremental
+
 	if *importPath != "" {
 		f, err := os.Open(*importPath)
 		if err != nil {
@@ -208,6 +223,40 @@ func main() {
 		watchdog.RecordRefresh()
 		logger.Info("imported reports", "path", *importPath,
 			"routes", snap.NumRoutes(), "checks", snap.NumChecks())
+	} else if incremental {
+		inc, err = verify.NewIncremental(db, rels, vcfg)
+		if err != nil {
+			telemetry.Fatal("incremental engine failed", "err", err)
+		}
+		inc.Verifier().SetMetrics(verify.NewMetrics(reg))
+		inc.Verifier().SetTracer(tracer)
+		inc.Verifier().SetProfiler(profiler)
+		reg.GaugeFunc("rpslyzer_depgraph_programs",
+			"Compiled programs registered in the dependency graph.",
+			func() float64 { return float64(inc.GraphStats().Programs) })
+		reg.GaugeFunc("rpslyzer_depgraph_keys",
+			"Distinct dependency keys with at least one dependent program.",
+			func() float64 { return float64(inc.GraphStats().Keys) })
+		reg.GaugeFunc("rpslyzer_depgraph_edges",
+			"Total (key, program) dependency edges.",
+			func() float64 { return float64(inc.GraphStats().Edges) })
+		t0 := time.Now()
+		root := tracer.Start("rebuild", "initial-verify")
+		inc.Init(routes, *workers)
+		snap := reportstore.BuildSnapshot(inc.Reports())
+		if storeMetrics != nil {
+			storeMetrics.BuildSeconds.ObserveSince(t0)
+		}
+		serial := store.Swap(snap)
+		watchdog.RecordRefresh()
+		if root != nil {
+			root.SetInt("routes", int64(snap.NumRoutes())).SetInt("serial", int64(serial)).End()
+		}
+		stats := inc.GraphStats()
+		logger.Info("store swapped", "serial", serial,
+			"routes", snap.NumRoutes(), "checks", snap.NumChecks(),
+			"depgraph_programs", stats.Programs, "depgraph_edges", stats.Edges,
+			"build", time.Since(t0).Round(time.Millisecond))
 	} else {
 		rebuild(db, nil)
 	}
@@ -217,6 +266,65 @@ func main() {
 		mir := nrtm.NewMirrorDB(db, nil, nrtm.NewMetrics(reg))
 		stopMirror = make(chan struct{})
 		dumpDir := *dumps
+
+		// applyDelta patches the incremental engine and hot-swaps the
+		// store after each applied journal. Poll serializes calls, so the
+		// engine never races itself; readers only ever see the immutable
+		// snapshots swapped in below.
+		var applyDelta func(db *irr.Database, touched []depgraph.Key, parent *trace.Span)
+		if inc != nil {
+			rm := newReverifyMetrics(reg)
+			applies := 0
+			applyDelta = func(db *irr.Database, touched []depgraph.Key, parent *trace.Span) {
+				t0 := time.Now()
+				root := trace.StartOrChild(tracer, parent, "rebuild", "reverify")
+				res := inc.Reverify(db, touched, *workers, root)
+				rm.routes.Add(int64(res.Routes))
+				rm.programs.Add(int64(len(res.Programs)))
+				if res.Full {
+					rm.full.Inc()
+				}
+				rm.patched.Add(int64(res.Patched))
+				rm.lastRoutes.Set(int64(res.Routes))
+				rm.lastPrograms.Set(int64(len(res.Programs)))
+				rm.lastKeys.Set(int64(res.TouchedKeys))
+				rm.lastPatched.Set(int64(res.Patched))
+				rm.seconds.Observe(res.Duration.Seconds())
+				applies++
+				if *reconcileEvery > 0 && !res.Full && applies%*reconcileEvery == 0 {
+					rc := root.Child("reconcile")
+					rec := inc.Reconcile(*workers)
+					rc.SetInt("drift", int64(rec.Drift)).End()
+					rm.reconciles.Inc()
+					rm.drift.Add(int64(rec.Drift))
+					if rec.Drift > 0 {
+						logger.Error("reconcile drift: incremental reports diverged from full verification",
+							"drift", rec.Drift, "routes", rec.Routes)
+					} else {
+						logger.Info("reconcile clean", "routes", rec.Routes,
+							"took", rec.Duration.Round(time.Millisecond))
+					}
+				}
+				sb := root.Child("store-build")
+				snap := reportstore.BuildSnapshot(inc.Reports())
+				sb.End()
+				sw := root.Child("swap")
+				serial := store.Swap(snap)
+				sw.End()
+				watchdog.RecordRefresh()
+				root.SetInt("keys", int64(res.TouchedKeys)).
+					SetInt("programs", int64(len(res.Programs))).
+					SetInt("routes_reverified", int64(res.Routes)).
+					SetInt("serial", int64(serial)).
+					End()
+				logger.Info("store swapped", "serial", serial,
+					"keys", res.TouchedKeys, "programs_invalidated", len(res.Programs),
+					"routes_reverified", res.Routes, "routes_patched", res.Patched,
+					"full", res.Full,
+					"apply_to_swap", time.Since(t0).Round(time.Millisecond))
+			}
+		}
+
 		go nrtm.Poll(mir, nrtm.PollConfig{
 			JournalDir: *mirrorDir,
 			Interval:   *mirrorInterval,
@@ -226,7 +334,8 @@ func main() {
 				x, _, err := core.LoadDumpDir(dumpDir)
 				return x, err
 			},
-			OnSwap: rebuild,
+			OnSwap:  rebuild,
+			OnDelta: applyDelta,
 		}, stopMirror)
 	}
 
@@ -262,4 +371,50 @@ func main() {
 		telemetry.Fatal("shutdown failed", "err", err)
 	}
 	logger.Info("drained and stopped")
+}
+
+// reverifyMetrics exports the incremental engine's per-apply freshness:
+// how much work each journal cost and whether reconciliation ever
+// caught drift.
+type reverifyMetrics struct {
+	routes     *telemetry.Counter
+	patched    *telemetry.Counter
+	programs   *telemetry.Counter
+	full       *telemetry.Counter
+	reconciles *telemetry.Counter
+	drift      *telemetry.Counter
+
+	lastRoutes   *telemetry.Gauge
+	lastPrograms *telemetry.Gauge
+	lastKeys     *telemetry.Gauge
+	lastPatched  *telemetry.Gauge
+
+	seconds *telemetry.Histogram
+}
+
+func newReverifyMetrics(reg *telemetry.Registry) *reverifyMetrics {
+	return &reverifyMetrics{
+		routes: reg.Counter("rpslyzer_reverify_routes_total",
+			"Routes re-verified by incremental applies."),
+		patched: reg.Counter("rpslyzer_reverify_patched_total",
+			"Routes updated by check-level patching rather than full re-verification."),
+		programs: reg.Counter("rpslyzer_reverify_programs_invalidated_total",
+			"Compiled programs invalidated by incremental applies."),
+		full: reg.Counter("rpslyzer_reverify_full_total",
+			"Applies that fell back to a full re-verification (resyncs)."),
+		reconciles: reg.Counter("rpslyzer_reverify_reconciles_total",
+			"Full-verification reconciliation passes run."),
+		drift: reg.Counter("rpslyzer_reverify_reconcile_drift_total",
+			"Routes whose incremental report diverged from a reconciliation pass (should stay 0)."),
+		lastRoutes: reg.Gauge("rpslyzer_reverify_last_routes",
+			"Routes re-verified by the most recent apply."),
+		lastPrograms: reg.Gauge("rpslyzer_reverify_last_programs",
+			"Programs invalidated by the most recent apply."),
+		lastKeys: reg.Gauge("rpslyzer_reverify_last_keys",
+			"Touched dependency keys in the most recent apply."),
+		lastPatched: reg.Gauge("rpslyzer_reverify_last_patched",
+			"Routes patched (not fully re-verified) by the most recent apply."),
+		seconds: reg.Histogram("rpslyzer_reverify_seconds",
+			"Incremental re-verification latency per applied journal.", telemetry.DurationBuckets),
+	}
 }

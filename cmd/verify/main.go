@@ -8,9 +8,17 @@
 //
 //	verify -dumps data/ -rels data/as-rel.txt -routes data/routes.txt
 //	verify -dumps data/ -rels data/as-rel.txt -route "103.162.114.0/23|3257 1299 6939" -report
+//
+// With -changed the command runs the incremental engine instead of a
+// plain pass: the file lists changed-object dependency keys (one
+// "kind:operand" per line, e.g. "aut-num:AS64500" or
+// "as-set:AS-EXAMPLE"), and verify prints which compiled programs the
+// changes invalidate, how many routes they dirty, and the affected
+// ASes — a dry run of what a reportd mirror apply would re-verify.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +30,7 @@ import (
 
 	"rpslyzer/internal/bgpsim"
 	"rpslyzer/internal/core"
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/trace"
@@ -40,6 +49,7 @@ func main() {
 		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
 		paperMode = flag.Bool("paper-skips", false, "skip complex regexes like the published RPSLyzer")
 		evalMode  = flag.String("eval", "compiled", "evaluation engine: 'compiled' (precompiled policy programs) or 'interp' (tree-walking escape hatch)")
+		changed   = flag.String("changed", "", "file of changed-object keys (one 'kind:operand' per line); incrementally re-verify only affected routes and print the affected ASes")
 		slowest   = flag.Int("slowest", 0, "after verifying, print the N slowest routes/ASes and hottest compiled programs (heavy-hitter estimates)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,11 +90,12 @@ func main() {
 	if err != nil {
 		telemetry.Fatal("load relationships failed", "err", err)
 	}
-	_, verifier := core.BuildFromIR(x, rels, verify.Config{
+	vcfg := verify.Config{
 		Eval:             *evalMode,
 		SkipComplexRegex: *paperMode,
 		EnableRouteCache: *useCache,
-	})
+	}
+	db, verifier := core.BuildFromIR(x, rels, vcfg)
 	var prof *verify.Profiler
 	if *slowest > 0 {
 		prof = verify.NewProfiler(4 * *slowest)
@@ -101,6 +112,39 @@ func main() {
 	}
 	if err != nil {
 		telemetry.Fatal("load routes failed", "err", err)
+	}
+
+	if *changed != "" {
+		keys, err := readChangedKeys(*changed)
+		if err != nil {
+			telemetry.Fatal("read changed keys failed", "path", *changed, "err", err)
+		}
+		inc, err := verify.NewIncremental(db, rels, vcfg)
+		if err != nil {
+			telemetry.Fatal("incremental engine failed", "err", err)
+		}
+		t0 := time.Now()
+		inc.Init(rts, *workers)
+		baseline := time.Since(t0)
+		t1 := time.Now()
+		res := inc.Reverify(db, keys, *workers, nil)
+		stats := inc.GraphStats()
+		fmt.Printf("baseline: verified %d routes in %v (depgraph: %d programs, %d keys, %d edges)\n",
+			len(rts), baseline.Round(time.Millisecond), stats.Programs, stats.Keys, stats.Edges)
+		fmt.Printf("changed keys: %d\n", res.TouchedKeys)
+		fmt.Printf("invalidated programs: %d", len(res.Programs))
+		for _, asn := range res.Programs {
+			fmt.Printf(" AS%d", uint32(asn))
+		}
+		fmt.Println()
+		fmt.Printf("re-verified %d of %d routes in %v\n",
+			res.Routes, len(rts), time.Since(t1).Round(time.Millisecond))
+		affected := inc.AffectedASes(res.Dirty)
+		fmt.Printf("affected ASes: %d\n", len(affected))
+		for _, asn := range affected {
+			fmt.Printf("  AS%d\n", uint32(asn))
+		}
+		return
 	}
 
 	var jsonEnc *json.Encoder
@@ -166,6 +210,31 @@ func main() {
 		printTopK("slowest origin ASes", prof.SlowASes, *slowest)
 		printTopK("hottest compiled programs", prof.HotPrograms, *slowest)
 	}
+}
+
+// readChangedKeys parses a -changed file: one dependency key per line
+// in depgraph.ParseKey's "kind:operand" form; blank lines and #
+// comments are skipped.
+func readChangedKeys(path string) ([]depgraph.Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys := []depgraph.Key{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, err := depgraph.ParseKey(line)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+	}
+	return keys, sc.Err()
 }
 
 // printTopK renders one heavy-hitter sketch. Weights are seconds;

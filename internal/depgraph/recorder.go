@@ -1,0 +1,128 @@
+package depgraph
+
+import (
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+)
+
+// Recorder accumulates the deduplicated dependency keys of one program
+// compilation. A nil *Recorder is a no-op, so the compile stage calls
+// through it unconditionally and pays nothing when no graph is
+// attached.
+type Recorder struct {
+	keys map[Key]struct{}
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{keys: make(map[Key]struct{})}
+}
+
+// Add records one key.
+func (r *Recorder) Add(k Key) {
+	if r == nil {
+		return
+	}
+	r.keys[k] = struct{}{}
+}
+
+// Keys returns the recorded keys in Compare order.
+func (r *Recorder) Keys() []Key {
+	if r == nil {
+		return nil
+	}
+	out := make([]Key, 0, len(r.keys))
+	for k := range r.keys {
+		out = append(out, k)
+	}
+	SortKeys(out)
+	return out
+}
+
+// AsSetMembership records the as-set name closure reachable from name:
+// the set itself and every set its members reference transitively,
+// recorded or not. This covers reads of the flattened ASN membership
+// (peering as-set matches, AS-path regex set terms): membership only
+// moves when one of these set objects changes or when an aut-num's
+// member-of claims change — and the latter touches the claimed set
+// names directly at journal-apply time.
+func (r *Recorder) AsSetMembership(db *irr.Database, name string) {
+	if r == nil {
+		return
+	}
+	r.asSetClosure(db, name)
+}
+
+// asSetClosure walks the as-set reference graph, returning without
+// descending into names already recorded (which also terminates
+// reference cycles).
+func (r *Recorder) asSetClosure(db *irr.Database, name string) {
+	k := AsSetKey(name)
+	if _, done := r.keys[k]; done {
+		return
+	}
+	r.keys[k] = struct{}{}
+	set, ok := db.IR.AsSets[name]
+	if !ok {
+		return
+	}
+	for _, m := range set.MemberSets {
+		r.asSetClosure(db, m)
+	}
+}
+
+// AsSetTable records what an as-set's flattened prefix table depends
+// on: the membership closure plus the route objects of every flat
+// member AS (the table folds their route tables).
+func (r *Recorder) AsSetTable(db *irr.Database, name string) {
+	if r == nil {
+		return
+	}
+	r.asSetClosure(db, name)
+	if flat, ok := db.AsSet(name); ok {
+		for asn := range flat.ASNs {
+			r.keys[RoutesKey(asn)] = struct{}{}
+		}
+	}
+}
+
+// RouteSetTable records what a route-set's flattened table (and origin
+// set) depends on: the route-set reference closure, the as-sets its
+// members resolve to (with their tables), and the route objects of
+// member ASes. Member names that could resolve as either an as-set or
+// a route-set record both keys — the flattener prefers the as-set
+// reading, and a later ADD of either object flips the resolution.
+func (r *Recorder) RouteSetTable(db *irr.Database, name string) {
+	if r == nil {
+		return
+	}
+	r.routeSetClosure(db, name)
+}
+
+func (r *Recorder) routeSetClosure(db *irr.Database, name string) {
+	k := RouteSetKey(name)
+	if _, done := r.keys[k]; done {
+		return
+	}
+	r.keys[k] = struct{}{}
+	rs, ok := db.IR.RouteSets[name]
+	if !ok {
+		return
+	}
+	for _, m := range rs.Members {
+		switch m.Kind {
+		case ir.RSMemberASN:
+			r.keys[RoutesKey(m.ASN)] = struct{}{}
+		case ir.RSMemberSet:
+			if _, isAsSet := db.IR.AsSets[m.Name]; isAsSet {
+				r.AsSetTable(db, m.Name)
+				// A route-set of the same name would shadow nothing today
+				// but its creation cannot change the resolution, so the
+				// as-set reading alone is recorded.
+				continue
+			}
+			r.keys[AsSetKey(m.Name)] = struct{}{}
+			r.routeSetClosure(db, m.Name)
+		}
+	}
+}

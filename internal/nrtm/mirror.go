@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/parser"
@@ -106,8 +107,23 @@ func (m *Mirror) Apply(j *Journal) error {
 // The batch is all-or-nothing: a serial gap or a bad operation in any
 // journal leaves the published snapshot and every serial untouched.
 func (m *Mirror) ApplyAll(journals []*Journal) error {
+	_, err := m.ApplyAllKeys(journals)
+	return err
+}
+
+// ApplyAllKeys is ApplyAll, additionally returning the dependency keys
+// of every object the batch touched — the exact input
+// verify.Incremental.Reverify needs to re-verify only what the batch
+// could have changed. The key set covers direct object changes (by
+// name, ASN, or prefix) and indirect moves the apply computed anyway
+// (as-sets whose membership shifted because an aut-num's member-of
+// claims changed, route-sets containing changed routes by reference).
+// An empty batch or a batch of empty journals returns a non-nil empty
+// slice: "nothing touched", as opposed to nil's "unknown, redo
+// everything".
+func (m *Mirror) ApplyAllKeys(journals []*Journal) ([]depgraph.Key, error) {
 	if len(journals) == 0 {
-		return nil
+		return []depgraph.Key{}, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -118,7 +134,7 @@ func (m *Mirror) ApplyAll(journals []*Journal) error {
 	for _, j := range journals {
 		if have := next[j.Registry]; j.First != have+1 {
 			m.metrics.gap()
-			return &SerialGapError{Registry: j.Registry, Have: have, First: j.First}
+			return nil, &SerialGapError{Registry: j.Registry, Have: have, First: j.First}
 		}
 		next[j.Registry] = j.Last
 	}
@@ -129,7 +145,7 @@ func (m *Mirror) ApplyAll(journals []*Journal) error {
 	for _, j := range journals {
 		for _, op := range j.Ops {
 			if err := applyOp(db, st, j.Registry, op); err != nil {
-				return fmt.Errorf("nrtm: %s serial %d: %w", j.Registry, op.Serial, err)
+				return nil, fmt.Errorf("nrtm: %s serial %d: %w", j.Registry, op.Serial, err)
 			}
 		}
 		ops += len(j.Ops)
@@ -139,7 +155,7 @@ func (m *Mirror) ApplyAll(journals []*Journal) error {
 	m.serials = next
 	span.End()
 	m.metrics.applied(ops)
-	return nil
+	return st.keys(), nil
 }
 
 // Resync replaces the mirror's state with a full rebuild from x,
@@ -182,6 +198,10 @@ type applyState struct {
 	dirtyAsSets      map[string]struct{}
 	reindexAsSets    map[string]struct{}
 	reindexRouteSets map[string]struct{}
+	// touched collects the dependency keys of directly changed objects
+	// for ApplyAllKeys; keys() merges in the indirect moves tracked
+	// above (dirty as-sets, reindexed route-sets).
+	touched map[depgraph.Key]struct{}
 }
 
 func newApplyState() *applyState {
@@ -189,7 +209,27 @@ func newApplyState() *applyState {
 		dirtyAsSets:      make(map[string]struct{}),
 		reindexAsSets:    make(map[string]struct{}),
 		reindexRouteSets: make(map[string]struct{}),
+		touched:          make(map[depgraph.Key]struct{}),
 	}
+}
+
+// keys returns the batch's touched-object dependency keys, sorted:
+// the directly collected keys plus an as-set key for every set whose
+// flat membership moved and a route-set key for every changed
+// route-set object. Always non-nil.
+func (st *applyState) keys() []depgraph.Key {
+	for name := range st.dirtyAsSets {
+		st.touched[depgraph.AsSetKey(name)] = struct{}{}
+	}
+	for name := range st.reindexRouteSets {
+		st.touched[depgraph.RouteSetKey(name)] = struct{}{}
+	}
+	out := make([]depgraph.Key, 0, len(st.touched))
+	for k := range st.touched {
+		out = append(out, k)
+	}
+	depgraph.SortKeys(out)
+	return out
 }
 
 // settle recomputes the derived indexes the journal's operations made
@@ -237,6 +277,7 @@ func applyOp(db *irr.Database, st *applyState, registry string, op Op) error {
 	switch obj.Class {
 	case "aut-num":
 		for asn, an := range one.AutNums {
+			st.touched[depgraph.AutNumKey(asn)] = struct{}{}
 			old := db.IR.AutNums[asn]
 			if op.Action == OpAdd {
 				db.IR.AutNums[asn] = an
@@ -301,6 +342,7 @@ func applyOp(db *irr.Database, st *applyState, registry string, op Op) error {
 		return applyRouteOp(db, st, registry, op.Action, one.Routes[0], obj.Class)
 	case "peering-set":
 		for name, set := range one.PeeringSets {
+			st.touched[depgraph.PeeringSetKey(name)] = struct{}{}
 			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.PeeringSets, name, set,
 				func(s *ir.PeeringSet) string { return s.Source }); err != nil {
 				return err
@@ -308,6 +350,7 @@ func applyOp(db *irr.Database, st *applyState, registry string, op Op) error {
 		}
 	case "filter-set":
 		for name, set := range one.FilterSets {
+			st.touched[depgraph.FilterSetKey(name)] = struct{}{}
 			if err := upsert(db.IR, registry, obj.Class, op.Action, db.IR.FilterSets, name, set,
 				func(s *ir.FilterSet) string { return s.Source }); err != nil {
 				return err
@@ -374,6 +417,19 @@ func applyRouteOp(db *irr.Database, st *applyState, registry string, a Action, r
 	}
 	id := routeID{r.Prefix, r.Origin, r.Source}
 	idx, existed := st.routeIdx[id]
+	// The origin's route table and the prefix's origin set move either
+	// way; route-sets naming this route by member-of (old and new
+	// claims) have their flat tables moved too.
+	st.touched[depgraph.RoutesKey(r.Origin)] = struct{}{}
+	st.touched[depgraph.PrefixKey(r.Prefix)] = struct{}{}
+	for _, name := range r.MemberOfs {
+		st.touched[depgraph.RouteSetKey(name)] = struct{}{}
+	}
+	if existed {
+		for _, name := range db.IR.Routes[idx].MemberOfs {
+			st.touched[depgraph.RouteSetKey(name)] = struct{}{}
+		}
+	}
 	if a == OpAdd {
 		if existed {
 			// Replace in place (e.g. changed member-of) so dump render

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/trace"
@@ -35,6 +36,13 @@ type PollConfig struct {
 	// work (verify, store build, swap) should hang child spans off it
 	// so one trace covers journal-apply → rebuild → swap.
 	OnSwap func(db *irr.Database, sp *trace.Span)
+	// OnDelta, when non-nil, takes precedence over OnSwap: it receives
+	// the touched-object dependency keys of each applied journal
+	// alongside the new database, so the downstream hook can re-verify
+	// incrementally (verify.Incremental.Reverify). After a resync the
+	// keys are nil — "unknown delta, redo everything" — and the hook
+	// must fall back to a full rebuild.
+	OnDelta func(db *irr.Database, touched []depgraph.Key, sp *trace.Span)
 	// Tracer, when non-nil, traces each journal apply and resync under
 	// the "mirror" stage.
 	Tracer *trace.Tracer
@@ -121,13 +129,19 @@ func applyOne(mir *Mirror, cfg *PollConfig, path string) error {
 	root.Set("registry", j.Registry).SetInt("ops", int64(len(j.Ops)))
 
 	apply := root.Child("apply")
-	err = mir.Apply(j)
+	keys, err := mir.ApplyAllKeys([]*Journal{j})
 	apply.End()
 	if err != nil {
 		root.Set("error", err.Error()).End()
 		return err
 	}
-	if cfg.OnSwap != nil {
+	switch {
+	case cfg.OnDelta != nil:
+		swap := root.Child("ondelta")
+		swap.SetInt("keys", int64(len(keys)))
+		cfg.OnDelta(mir.DB(), keys, swap)
+		swap.End()
+	case cfg.OnSwap != nil:
 		swap := root.Child("onswap")
 		cfg.OnSwap(mir.DB(), swap)
 		swap.End()
@@ -155,7 +169,12 @@ func resync(mir *Mirror, cfg *PollConfig, applied map[string]bool) error {
 	}
 	t0 := time.Now()
 	mir.Resync(x, nil)
-	if cfg.OnSwap != nil {
+	switch {
+	case cfg.OnDelta != nil:
+		swap := root.Child("ondelta")
+		cfg.OnDelta(mir.DB(), nil, swap)
+		swap.End()
+	case cfg.OnSwap != nil:
 		swap := root.Child("onswap")
 		cfg.OnSwap(mir.DB(), swap)
 		swap.End()

@@ -6,6 +6,7 @@ import (
 
 	"rpslyzer/internal/asrel"
 	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 )
 
@@ -79,23 +80,23 @@ func constFilter(fe filterEval) filterProg {
 	return func(*evalCtx) filterEval { return fe }
 }
 
-func (v *Verifier) compileAutNum(an *ir.AutNum) *autnumProg {
+func (v *Verifier) compileAutNum(an *ir.AutNum, rec *depgraph.Recorder) *autnumProg {
 	p := &autnumProg{
 		imports: make([]policyProg, len(an.Imports)),
 		exports: make([]policyProg, len(an.Exports)),
 	}
 	for i := range an.Imports {
-		p.imports[i] = v.compileRule(&an.Imports[i])
+		p.imports[i] = v.compileRule(&an.Imports[i], rec)
 	}
 	for i := range an.Exports {
-		p.exports[i] = v.compileRule(&an.Exports[i])
+		p.exports[i] = v.compileRule(&an.Exports[i], rec)
 	}
 	return p
 }
 
 // compileRule resolves the rule's default AFI and compiles its policy
 // expression.
-func (v *Verifier) compileRule(rule *ir.Rule) policyProg {
+func (v *Verifier) compileRule(rule *ir.Rule, rec *depgraph.Recorder) policyProg {
 	afi := rule.Expr.AFI
 	if afi.IsZero() {
 		if rule.MP {
@@ -104,13 +105,13 @@ func (v *Verifier) compileRule(rule *ir.Rule) policyProg {
 			afi = ir.AFIIPv4Unicast
 		}
 	}
-	return v.compilePolicy(rule.Expr, afi)
+	return v.compilePolicy(rule.Expr, afi, rec)
 }
 
 // compilePolicy compiles a structured-policy expression. Each node's
 // effective AFI is fixed at compile time; the closure only checks it
 // against the route prefix.
-func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI) policyProg {
+func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI, rec *depgraph.Recorder) policyProg {
 	afi := e.AFI
 	if afi.IsZero() {
 		afi = parentAFI
@@ -119,7 +120,7 @@ func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI) policyProg 
 	case ir.PolicyTerm:
 		factors := make([]factorProg, len(e.Factors))
 		for i := range e.Factors {
-			factors[i] = v.compileFactor(&e.Factors[i])
+			factors[i] = v.compileFactor(&e.Factors[i], rec)
 		}
 		return func(ctx *evalCtx) (Status, []Reason) {
 			if !afi.MatchesPrefix(ctx.pfx) {
@@ -146,8 +147,8 @@ func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI) policyProg 
 			return best, reasons
 		}
 	case ir.PolicyExcept:
-		left := v.compilePolicy(e.Left, afi)
-		right := v.compilePolicy(e.Right, afi)
+		left := v.compilePolicy(e.Left, afi, rec)
+		right := v.compilePolicy(e.Right, afi, rec)
 		return func(ctx *evalCtx) (Status, []Reason) {
 			if !afi.MatchesPrefix(ctx.pfx) {
 				return Unverified, nil
@@ -163,8 +164,8 @@ func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI) policyProg 
 			return ls, append(lr, rr...)
 		}
 	case ir.PolicyRefine:
-		left := v.compilePolicy(e.Left, afi)
-		right := v.compilePolicy(e.Right, afi)
+		left := v.compilePolicy(e.Left, afi, rec)
+		right := v.compilePolicy(e.Right, afi, rec)
 		return func(ctx *evalCtx) (Status, []Reason) {
 			if !afi.MatchesPrefix(ctx.pfx) {
 				return Unverified, nil
@@ -186,10 +187,10 @@ func (v *Verifier) compilePolicy(e *ir.PolicyExpr, parentAFI ir.AFI) policyProg 
 
 // compileFactor compiles one policy factor: peering programs, the
 // baked skip decision, the filter program, and the relaxation program.
-func (v *Verifier) compileFactor(f *ir.PolicyFactor) factorProg {
+func (v *Verifier) compileFactor(f *ir.PolicyFactor, rec *depgraph.Recorder) factorProg {
 	peerings := make([]peeringProg, len(f.Peerings))
 	for i := range f.Peerings {
-		peerings[i] = v.compilePeering(&f.Peerings[i].Peering, 0)
+		peerings[i] = v.compilePeering(&f.Peerings[i].Peering, 0, rec)
 	}
 
 	// The skip decision depends only on the literal filter tree and
@@ -212,9 +213,9 @@ func (v *Verifier) compileFactor(f *ir.PolicyFactor) factorProg {
 	var filter filterProg
 	var relax relaxProg
 	if skipReasons == nil {
-		filter = v.compileFilter(f.Filter, 0)
+		filter = v.compileFilter(f.Filter, 0, rec)
 		if !v.cfg.Strict {
-			relax = v.compileRelaxations(f)
+			relax = v.compileRelaxations(f, rec)
 		}
 	}
 
@@ -267,7 +268,7 @@ func (v *Verifier) compileFactor(f *ir.PolicyFactor) factorProg {
 // compile time against the database snapshot; filter-sets are inlined
 // up to the configured depth bound, with the over-depth and
 // unrecorded outcomes baked as constants.
-func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
+func (v *Verifier) compileFilter(f *ir.Filter, depth int, rec *depgraph.Recorder) filterProg {
 	switch f.Kind {
 	case ir.FilterAny:
 		return constFilter(filterEval{state: triMatch})
@@ -281,6 +282,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return v.evalOriginFilter(ctx.peer, op, ctx)
 		}
 	case ir.FilterASN:
+		rec.Add(depgraph.RoutesKey(f.ASN))
 		tbl, ok := v.DB.RouteTable(f.ASN)
 		if !ok {
 			return constFilter(filterEval{state: triUnrecorded,
@@ -296,6 +298,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return miss
 		}
 	case ir.FilterAsSet:
+		rec.AsSetTable(v.DB, f.Name)
 		// Materializing the flattened prefix table here removes the
 		// lazy-build lock from the execution hot path.
 		tbl, ok := v.DB.AsSetPrefixTable(f.Name)
@@ -313,6 +316,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return miss
 		}
 	case ir.FilterRouteSet:
+		rec.RouteSetTable(v.DB, f.Name)
 		rs, ok := v.DB.RouteSet(f.Name)
 		if !ok {
 			return constFilter(filterEval{state: triUnrecorded,
@@ -329,6 +333,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return miss
 		}
 	case ir.FilterFilterSet:
+		rec.Add(depgraph.FilterSetKey(f.Name))
 		if depth >= v.cfg.MaxFilterSetDepth {
 			return constFilter(filterEval{state: triNoMatch,
 				reasons: bake(Reason{Kind: MatchFilter, Name: f.Name})})
@@ -338,7 +343,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return constFilter(filterEval{state: triUnrecorded,
 				reasons: bake(Reason{Kind: UnrecordedFilterSet, Name: f.Name})})
 		}
-		return v.compileFilter(fs.Filter, depth+1)
+		return v.compileFilter(fs.Filter, depth+1, rec)
 	case ir.FilterPrefixSet:
 		prefixes := f.Prefixes
 		miss := filterEval{state: triNoMatch, reasons: reasonMatchFilter}
@@ -354,6 +359,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 		var unrec []Reason
 		f.Regex.WalkTerms(func(t *ir.PathTerm) {
 			if t.Kind == ir.PathSet {
+				rec.AsSetMembership(v.DB, t.Name)
 				if _, ok := v.DB.AsSet(t.Name); !ok {
 					unrec = append(unrec, Reason{Kind: UnrecordedAsSet, Name: t.Name})
 				}
@@ -374,14 +380,14 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return miss
 		}
 	case ir.FilterAnd:
-		l := v.compileFilter(f.Left, depth)
-		r := v.compileFilter(f.Right, depth)
+		l := v.compileFilter(f.Left, depth, rec)
+		r := v.compileFilter(f.Right, depth, rec)
 		return func(ctx *evalCtx) filterEval {
 			return combineAnd(l(ctx), r(ctx))
 		}
 	case ir.FilterOr:
-		l := v.compileFilter(f.Left, depth)
-		r := v.compileFilter(f.Right, depth)
+		l := v.compileFilter(f.Left, depth, rec)
+		r := v.compileFilter(f.Right, depth, rec)
 		return func(ctx *evalCtx) filterEval {
 			le := l(ctx)
 			if le.state == triMatch {
@@ -397,7 +403,7 @@ func (v *Verifier) compileFilter(f *ir.Filter, depth int) filterProg {
 			return filterEval{state: triNoMatch, reasons: append(le.reasons, re.reasons...)}
 		}
 	case ir.FilterNot:
-		inner := v.compileFilter(f.Left, depth)
+		inner := v.compileFilter(f.Left, depth, rec)
 		miss := filterEval{state: triNoMatch, reasons: reasonMatchFilter}
 		return func(ctx *evalCtx) filterEval {
 			fe := inner(ctx)
@@ -482,8 +488,9 @@ func communitiesContainAll(want, have []bgpsim.Community) bool {
 // compilePeering compiles one peering. Peering-sets are expanded at
 // compile time up to the depth bound; cyclic references terminate at
 // the bound exactly like the interpreter's runtime recursion.
-func (v *Verifier) compilePeering(p *ir.Peering, depth int) peeringProg {
+func (v *Verifier) compilePeering(p *ir.Peering, depth int, rec *depgraph.Recorder) peeringProg {
 	if p.PeeringSet != "" {
+		rec.Add(depgraph.PeeringSetKey(p.PeeringSet))
 		if depth >= v.cfg.MaxFilterSetDepth {
 			return func(_ *evalCtx, acc []Reason) (triState, []Reason) { return triNoMatch, acc }
 		}
@@ -496,7 +503,7 @@ func (v *Verifier) compilePeering(p *ir.Peering, depth int) peeringProg {
 		}
 		subs := make([]peeringProg, len(ps.Peerings))
 		for i := range ps.Peerings {
-			subs[i] = v.compilePeering(&ps.Peerings[i], depth+1)
+			subs[i] = v.compilePeering(&ps.Peerings[i], depth+1, rec)
 		}
 		return func(ctx *evalCtx, acc []Reason) (triState, []Reason) {
 			state := triNoMatch
@@ -516,12 +523,12 @@ func (v *Verifier) compilePeering(p *ir.Peering, depth int) peeringProg {
 	if p.ASExpr == nil {
 		return func(_ *evalCtx, acc []Reason) (triState, []Reason) { return triNoMatch, acc }
 	}
-	return v.compileASExpr(p.ASExpr)
+	return v.compileASExpr(p.ASExpr, rec)
 }
 
 // compileASExpr compiles an as-expression; as-set memberships resolve
 // to the flattened ASN map at compile time.
-func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
+func (v *Verifier) compileASExpr(e *ir.ASExpr, rec *depgraph.Recorder) peeringProg {
 	switch e.Kind {
 	case ir.ASExprAny:
 		return func(_ *evalCtx, acc []Reason) (triState, []Reason) { return triMatch, acc }
@@ -535,6 +542,7 @@ func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
 			return triNoMatch, accumulate(acc, baked)
 		}
 	case ir.ASExprSet:
+		rec.AsSetMembership(v.DB, e.Name)
 		fa, ok := v.DB.AsSet(e.Name)
 		if !ok {
 			baked := bake(Reason{Kind: UnrecordedAsSet, Name: e.Name})
@@ -551,8 +559,8 @@ func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
 			return triNoMatch, accumulate(acc, baked)
 		}
 	case ir.ASExprAnd:
-		l := v.compileASExpr(e.Left)
-		r := v.compileASExpr(e.Right)
+		l := v.compileASExpr(e.Left, rec)
+		r := v.compileASExpr(e.Right, rec)
 		return func(ctx *evalCtx, acc []Reason) (triState, []Reason) {
 			ls, acc := l(ctx, acc)
 			rs, acc := r(ctx, acc)
@@ -566,8 +574,8 @@ func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
 			}
 		}
 	case ir.ASExprOr:
-		l := v.compileASExpr(e.Left)
-		r := v.compileASExpr(e.Right)
+		l := v.compileASExpr(e.Left, rec)
+		r := v.compileASExpr(e.Right, rec)
 		return func(ctx *evalCtx, acc []Reason) (triState, []Reason) {
 			ls, acc := l(ctx, acc)
 			if ls == triMatch {
@@ -583,8 +591,8 @@ func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
 			return triNoMatch, acc
 		}
 	case ir.ASExprExcept:
-		l := v.compileASExpr(e.Left)
-		r := v.compileASExpr(e.Right)
+		l := v.compileASExpr(e.Left, rec)
+		r := v.compileASExpr(e.Right, rec)
 		return func(ctx *evalCtx, acc []Reason) (triState, []Reason) {
 			ls, acc := l(ctx, acc)
 			rs, acc := r(ctx, acc)
@@ -607,7 +615,7 @@ func (v *Verifier) compileASExpr(e *ir.ASExpr) peeringProg {
 // for a factor. The filter and peering shape tests are static, so they
 // reduce to constants; only the relationship and origin checks remain
 // at run time.
-func (v *Verifier) compileRelaxations(f *ir.PolicyFactor) relaxProg {
+func (v *Verifier) compileRelaxations(f *ir.PolicyFactor, rec *depgraph.Recorder) relaxProg {
 	fIsASN := f.Filter != nil && f.Filter.Kind == ir.FilterASN
 	var fASN ir.ASN
 	if fIsASN {
@@ -625,7 +633,7 @@ func (v *Verifier) compileRelaxations(f *ir.PolicyFactor) relaxProg {
 		}
 		peerASN = e.ASN
 	}
-	namesOrigin := v.compileNamesOrigin(f.Filter)
+	namesOrigin := v.compileNamesOrigin(f.Filter, rec)
 
 	exportSelf := bake(Reason{Kind: SpecExportSelf})
 	importCustomer := bake(Reason{Kind: SpecImportCustomer})
@@ -654,7 +662,7 @@ func (v *Verifier) compileRelaxations(f *ir.PolicyFactor) relaxProg {
 // compileNamesOrigin compiles the Missing Routes shape test: does the
 // filter name the path origin (directly, via PeerAS, or via a set
 // containing it)?
-func (v *Verifier) compileNamesOrigin(f *ir.Filter) func(ctx *evalCtx) bool {
+func (v *Verifier) compileNamesOrigin(f *ir.Filter, rec *depgraph.Recorder) func(ctx *evalCtx) bool {
 	no := func(*evalCtx) bool { return false }
 	if f == nil {
 		return no
@@ -666,6 +674,7 @@ func (v *Verifier) compileNamesOrigin(f *ir.Filter) func(ctx *evalCtx) bool {
 	case ir.FilterPeerAS:
 		return func(ctx *evalCtx) bool { return ctx.peer == ctx.origin }
 	case ir.FilterAsSet:
+		rec.AsSetMembership(v.DB, f.Name)
 		fa, ok := v.DB.AsSet(f.Name)
 		if !ok {
 			return no
@@ -676,6 +685,7 @@ func (v *Verifier) compileNamesOrigin(f *ir.Filter) func(ctx *evalCtx) bool {
 			return in
 		}
 	case ir.FilterRouteSet:
+		rec.RouteSetTable(v.DB, f.Name)
 		rs, ok := v.DB.RouteSet(f.Name)
 		if !ok {
 			return no

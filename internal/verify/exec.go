@@ -3,20 +3,31 @@ package verify
 import (
 	"time"
 
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 )
 
 // program returns the compiled program for an aut-num, compiling and
 // caching it on first use. Concurrent first uses may compile twice;
 // LoadOrStore keeps exactly one program, and programs are pure, so the
-// duplicate work is harmless.
+// duplicate work is harmless. When a dependency graph is attached
+// (SetDepGraph), compilation records every object the program resolved
+// and registers the key set — the loser of a concurrent compile skips
+// registration, since the winner records an identical set.
 func (v *Verifier) program(an *ir.AutNum) *autnumProg {
 	if p, ok := v.progCache.Load(an); ok {
 		v.metrics.programCacheHit()
 		return p.(*autnumProg)
 	}
 	tsp := v.tracer.Start("compile", "compile-autnum")
-	p := v.compileAutNum(an)
+	var rec *depgraph.Recorder
+	if v.graph != nil {
+		rec = depgraph.NewRecorder()
+		// Every program depends on its own aut-num object: a changed or
+		// deleted aut-num must invalidate it.
+		rec.Add(depgraph.AutNumKey(an.ASN))
+	}
+	p := v.compileAutNum(an, rec)
 	if tsp != nil {
 		tsp.SetInt("as", int64(uint32(an.ASN))).
 			SetInt("rules", int64(len(an.Imports)+len(an.Exports)))
@@ -24,6 +35,9 @@ func (v *Verifier) program(an *ir.AutNum) *autnumProg {
 	}
 	if actual, loaded := v.progCache.LoadOrStore(an, p); loaded {
 		return actual.(*autnumProg)
+	}
+	if v.graph != nil {
+		v.graph.SetProgram(an.ASN, rec.Keys())
 	}
 	v.metrics.programCompiled(v.progCount.Add(1))
 	return p

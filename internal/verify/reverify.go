@@ -1,0 +1,457 @@
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"rpslyzer/internal/asregex"
+	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/depgraph"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irr"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/trace"
+)
+
+// Incremental is the dependency-graph re-verification engine: it holds
+// one Verifier, the route corpus, the latest per-route reports, and the
+// compiled programs' dependency graph, and patches the reports in place
+// when the database moves forward by an NRTM delta.
+//
+// The invariant it maintains is byte-identical equivalence: after
+// Reverify(db, touched) the held reports equal what a from-scratch
+// VerifyAll against db would produce, provided touched covers the delta
+// between the old and new database (nrtm.Mirror.ApplyAllKeys computes
+// exactly that cover).
+//
+// Routes are dirtied by diffing each touched object between the old
+// and new snapshots (markKeyDelta): a changed rule list dirties only
+// the checks that AS evaluates, a set-member delta only the routes
+// carrying or covered by the member, a route-table delta only the
+// routes its entries' base prefixes cover. Dirty routes then split
+// into full re-verifications and check-level patches (PatchRoute),
+// which re-evaluate only the affected (self, direction) checks and
+// copy the rest from the previous report. This keeps a step's cost
+// proportional to the semantic size of the delta, not to the fan-out
+// of the dependency graph.
+//
+// Reverify, Reconcile, and SetRoutes must not run concurrently with
+// each other or with readers of Reports; downstream consumers should
+// copy the patched reports into an immutable snapshot (reportstore)
+// before publishing.
+type Incremental struct {
+	v     *Verifier
+	graph *depgraph.Graph
+
+	routes  []bgpsim.Route
+	reports []RouteReport
+
+	// asRoutes, pfxRoutes, and pfxTrie index the corpus for dirtying;
+	// they depend only on the routes, not on the database. pfxTrie maps
+	// each corpus prefix to its route indexes for covered-by walks
+	// (range operators only widen toward more-specifics, so a changed
+	// table entry affects exactly the corpus prefixes it covers).
+	asRoutes  map[ir.ASN][]int32
+	pfxRoutes map[prefix.Prefix][]int32
+	pfxTrie   *prefix.Trie[[]int32]
+}
+
+// ReverifyResult summarizes one incremental step.
+type ReverifyResult struct {
+	// Full marks a full re-verification (touched == nil).
+	Full bool
+	// TouchedKeys is the size of the touched-key input.
+	TouchedKeys int
+	// Programs lists the invalidated compiled programs (evicted, then
+	// recompiled on demand against the new database), by ASN, sorted.
+	Programs []ir.ASN
+	// Dirty lists the corpus indexes of the re-verified routes, sorted.
+	// On a full pass it is nil and every route was re-verified.
+	Dirty []int32
+	// Routes is the number of routes re-verified; Patched counts the
+	// subset handled by check-level patching rather than a full
+	// per-route re-verification.
+	Routes, Patched int
+	// Duration is the wall time of the step.
+	Duration time.Duration
+}
+
+// ReconcileResult summarizes a reconciliation pass.
+type ReconcileResult struct {
+	// Routes is the corpus size; Drift counts routes whose incremental
+	// report differed from the fresh full verification (0 means the
+	// dependency cover missed nothing).
+	Routes, Drift int
+	Duration      time.Duration
+}
+
+// RoutesDelta summarizes a corpus swap (SetRoutes).
+type RoutesDelta struct {
+	// Reused reports were carried over from identical routes in the old
+	// corpus; Verified routes were new and verified from scratch;
+	// Dropped counts old routes absent from the new corpus.
+	Reused, Verified, Dropped int
+	Duration                  time.Duration
+}
+
+// NewIncremental builds the engine around a fresh Verifier.
+// Incremental re-verification requires the compiled evaluation engine
+// (the interpreter resolves sets at run time, leaving no per-program
+// dependency record) and is incompatible with the whole-route cache
+// (cached entries would survive database changes).
+func NewIncremental(db *irr.Database, rels *asrel.Database, cfg Config) (*Incremental, error) {
+	cfg.fill()
+	if cfg.Eval == "interp" {
+		return nil, fmt.Errorf("verify: incremental re-verification requires the compiled engine (eval=interp unsupported)")
+	}
+	if cfg.EnableRouteCache {
+		return nil, fmt.Errorf("verify: incremental re-verification is incompatible with the whole-route cache")
+	}
+	inc := &Incremental{
+		v:     New(db, rels, cfg),
+		graph: depgraph.New(),
+	}
+	inc.v.SetDepGraph(inc.graph)
+	return inc, nil
+}
+
+// Verifier exposes the engine's verifier (for SetMetrics / SetTracer /
+// SetProfiler wiring).
+func (inc *Incremental) Verifier() *Verifier { return inc.v }
+
+// Reports returns the engine's current per-route reports, in corpus
+// order. The slice is patched in place by Reverify; copy what must
+// survive the next step.
+func (inc *Incremental) Reports() []RouteReport { return inc.reports }
+
+// Routes returns the engine's current corpus.
+func (inc *Incremental) Routes() []bgpsim.Route { return inc.routes }
+
+// GraphStats returns the dependency graph's current sizes.
+func (inc *Incremental) GraphStats() depgraph.Stats { return inc.graph.Stats() }
+
+// Init verifies the corpus from scratch and builds the route indexes.
+// It must be called once before Reverify.
+func (inc *Incremental) Init(routes []bgpsim.Route, workers int) []RouteReport {
+	inc.routes = routes
+	inc.reports = inc.v.VerifyAll(routes, workers)
+	inc.indexRoutes()
+	return inc.reports
+}
+
+// indexRoutes rebuilds asRoutes/pfxRoutes for the current corpus.
+// Ignored routes (AS-set paths, single-AS paths) are skipped: their
+// reports do not depend on the database.
+func (inc *Incremental) indexRoutes() {
+	inc.asRoutes = make(map[ir.ASN][]int32)
+	inc.pfxRoutes = make(map[prefix.Prefix][]int32)
+	for i := range inc.routes {
+		r := &inc.routes[i]
+		if r.HasASSet {
+			continue
+		}
+		path := dedupePrepends(r.Path)
+		if len(path) <= 1 {
+			continue
+		}
+		idx := int32(i)
+		for j, asn := range path {
+			if slices.Contains(path[:j], asn) {
+				continue // AS appears twice on a path loop, index it once
+			}
+			inc.asRoutes[asn] = append(inc.asRoutes[asn], idx)
+		}
+		inc.pfxRoutes[r.Prefix] = append(inc.pfxRoutes[r.Prefix], idx)
+	}
+	inc.pfxTrie = nil
+	for pfx, idxs := range inc.pfxRoutes {
+		inc.pfxTrie = inc.pfxTrie.Insert(pfx, idxs)
+	}
+}
+
+// Reverify moves the engine to db. With touched non-nil it invalidates
+// only the programs depending on a touched key, dirties only the routes
+// a touched object or invalidated program can reach, and re-verifies
+// those; with touched nil it discards every compiled program and
+// re-verifies the whole corpus (the resync path). parent, when non-nil,
+// receives "invalidate" and "reverify-routes" child spans.
+func (inc *Incremental) Reverify(db *irr.Database, touched []depgraph.Key, workers int, parent *trace.Span) ReverifyResult {
+	t0 := time.Now()
+	if touched == nil {
+		inv := parent.Child("invalidate")
+		inc.rebindFull(db)
+		if inv != nil {
+			inv.End()
+		}
+		rv := parent.Child("reverify-routes")
+		inc.reports = inc.v.VerifyAll(inc.routes, workers)
+		if rv != nil {
+			rv.SetInt("routes", int64(len(inc.routes))).End()
+		}
+		return ReverifyResult{Full: true, Routes: len(inc.routes), Duration: time.Since(t0)}
+	}
+
+	inv := parent.Child("invalidate")
+	oldDB := inc.v.DB
+	invalidated := inc.graph.Dependents(touched)
+	// Per-key dependents drive the delta marking below; they must be
+	// read before eviction tears the edges out of the graph.
+	depsByKey := make([][]ir.ASN, len(touched))
+	for i, k := range touched {
+		depsByKey[i] = inc.graph.Dependents([]depgraph.Key{k})
+	}
+	for _, asn := range invalidated {
+		inc.graph.RemoveProgram(asn)
+		// The cache is keyed by object pointer; the old snapshot still
+		// resolves it even when the journal replaced or deleted the
+		// object (unchanged objects share the pointer across clones, so
+		// changed ones would miss the cache anyway — eviction keeps the
+		// cache and its size gauge honest).
+		if an, ok := oldDB.AutNum(asn); ok {
+			if _, loaded := inc.v.progCache.LoadAndDelete(an); loaded {
+				inc.v.progCount.Add(-1)
+			}
+		}
+	}
+
+	// Dirty the routes each touched object's semantic delta can reach.
+	// Invalidated programs need no blanket marking of their own: they
+	// recompile on demand against the new snapshot, and a recompiled
+	// program produces byte-identical checks except where a touched
+	// object's delta applies — exactly what markKeyDelta marks.
+	d := newDirt()
+	for i, k := range touched {
+		inc.markKeyDelta(d, k, oldDB, db, depsByKey[i])
+	}
+
+	// Rebind the verifier to the new snapshot. Compiled programs read
+	// v.DB at call time, so surviving programs see the new data for
+	// their run-time lookups; everything captured at compile time is
+	// covered by the invalidation above.
+	inc.v.DB = db
+	for _, k := range touched {
+		if k.Kind == depgraph.KindAutNum {
+			inc.v.refreshOnlyProviderPolicy(k.ASN)
+		}
+	}
+	if inv != nil {
+		inv.SetInt("keys", int64(len(touched))).
+			SetInt("programs", int64(len(invalidated))).
+			SetInt("dirty_routes", int64(len(d.full)+len(d.part))).
+			End()
+	}
+
+	rv := parent.Child("reverify-routes")
+	order := d.order()
+	inc.applyDirt(d, order, workers)
+	if rv != nil {
+		rv.SetInt("routes", int64(len(order))).
+			SetInt("patched", int64(len(d.part))).End()
+	}
+
+	return ReverifyResult{
+		TouchedKeys: len(touched),
+		Programs:    invalidated,
+		Dirty:       order,
+		Routes:      len(order),
+		Patched:     len(d.part),
+		Duration:    time.Since(t0),
+	}
+}
+
+// applyDirt re-verifies the dirty routes concurrently: fully-dirty
+// routes from scratch, partially-dirty ones by patching only the
+// affected checks. The dirt maps are read-only here and report writes
+// are disjoint per index, so workers need no locking.
+func (inc *Incremental) applyDirt(d *dirt, order []int32, workers int) {
+	if len(order) == 0 {
+		return
+	}
+	one := func(i int32) {
+		if masks, ok := d.part[i]; ok {
+			inc.reports[i] = inc.v.PatchRoute(inc.routes[i], inc.reports[i], masks)
+		} else {
+			inc.reports[i] = inc.v.VerifyRoute(inc.routes[i])
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers == 1 {
+		for _, i := range order {
+			one(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int32, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				one(i)
+			}
+		}()
+	}
+	for _, i := range order {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// rebindFull points the verifier at db and discards every derived
+// per-database structure: compiled programs, the dependency graph, the
+// compiled-regex cache (keyed by old IR pointers), and the Only
+// Provider Policies map. The customer-cone cache survives — it depends
+// only on the static relationship database.
+func (inc *Incremental) rebindFull(db *irr.Database) {
+	inc.v.DB = db
+	inc.v.precomputeOnlyProviderPolicies()
+	inc.v.progCache.Clear()
+	inc.v.progCount.Store(0)
+	inc.graph.Reset()
+	inc.v.regexMu.Lock()
+	inc.v.regexCache = make(map[*ir.PathRegex]*asregex.Regex)
+	inc.v.regexMu.Unlock()
+}
+
+// reverifyIndexes re-verifies the given corpus indexes concurrently,
+// writing reports in place.
+func (inc *Incremental) reverifyIndexes(order []int32, workers int) {
+	if len(order) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers == 1 {
+		for _, i := range order {
+			inc.reports[i] = inc.v.VerifyRoute(inc.routes[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int32, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				inc.reports[i] = inc.v.VerifyRoute(inc.routes[i])
+			}
+		}()
+	}
+	for _, i := range order {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// Reconcile runs a from-scratch verification against the current
+// database and adopts it, reporting how many routes the incremental
+// state had drifted on. The answer should always be zero; non-zero
+// drift means the dependency cover missed an edge and is worth an
+// alert. It is the periodic safety net behind reportd's
+// -reconcile-every flag.
+func (inc *Incremental) Reconcile(workers int) ReconcileResult {
+	t0 := time.Now()
+	prev := inc.reports
+	inc.Reverify(inc.v.DB, nil, workers, nil)
+	drift := 0
+	for i := range prev {
+		if !reportsEqual(&prev[i], &inc.reports[i]) {
+			drift++
+		}
+	}
+	return ReconcileResult{Routes: len(prev), Drift: drift, Duration: time.Since(t0)}
+}
+
+// reportsEqual compares two reports for semantic equality (ignore
+// marker and per-check status/reasons); Route is identical by
+// construction.
+func reportsEqual(a, b *RouteReport) bool {
+	if a.Ignored != b.Ignored || len(a.Checks) != len(b.Checks) {
+		return false
+	}
+	for i := range a.Checks {
+		ca, cb := &a.Checks[i], &b.Checks[i]
+		if ca.From != cb.From || ca.To != cb.To || ca.Dir != cb.Dir ||
+			ca.Status != cb.Status || !slices.Equal(ca.Reasons, cb.Reasons) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetRoutes swaps the corpus: reports for routes already present (by
+// verification identity — prefix, AS-set flag, path, communities) are
+// reused, new routes are verified against the current database, and
+// reports for withdrawn routes are dropped. The route indexes are
+// rebuilt.
+func (inc *Incremental) SetRoutes(routes []bgpsim.Route, workers int) RoutesDelta {
+	t0 := time.Now()
+	old := make(map[string]int32, len(inc.routes))
+	for i := range inc.routes {
+		key := routeCacheKey(inc.routes[i])
+		if _, dup := old[key]; !dup {
+			old[key] = int32(i)
+		}
+	}
+	reports := make([]RouteReport, len(routes))
+	var fresh []int32
+	kept := make(map[string]struct{}, len(routes))
+	reused := 0
+	for i := range routes {
+		key := routeCacheKey(routes[i])
+		kept[key] = struct{}{}
+		if j, ok := old[key]; ok {
+			reports[i] = inc.reports[j]
+			reports[i].Route = routes[i]
+			reused++
+			continue
+		}
+		fresh = append(fresh, int32(i))
+	}
+	dropped := 0
+	for key := range old {
+		if _, ok := kept[key]; !ok {
+			dropped++
+		}
+	}
+	inc.routes = routes
+	inc.reports = reports
+	inc.reverifyIndexes(fresh, workers)
+	inc.indexRoutes()
+	return RoutesDelta{Reused: reused, Verified: len(fresh), Dropped: dropped, Duration: time.Since(t0)}
+}
+
+// AffectedASes returns the sorted union of path ASes over the given
+// dirty corpus indexes — the ASes whose checks a Reverify step could
+// have changed (cmd/verify -changed prints these).
+func (inc *Incremental) AffectedASes(dirty []int32) []ir.ASN {
+	seen := make(map[ir.ASN]struct{})
+	for _, i := range dirty {
+		for _, asn := range dedupePrepends(inc.routes[i].Path) {
+			seen[asn] = struct{}{}
+		}
+	}
+	out := make([]ir.ASN, 0, len(seen))
+	for asn := range seen {
+		out = append(out, asn)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -141,6 +141,61 @@ func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
 	return rep
 }
 
+// CheckMask selects which directions of an AS's checks must be
+// re-evaluated when patching a route report incrementally.
+type CheckMask uint8
+
+const (
+	MaskImport CheckMask = 1 << iota
+	MaskExport
+	MaskBoth = MaskImport | MaskExport
+)
+
+// PatchRoute re-evaluates only the checks of old whose evaluating AS
+// (ctx.self) appears in dirty with the check's direction set, copying
+// every other check unchanged. Each check reads the database solely
+// through its self (the aut-num lookup, the compiled program, the
+// safelist maps), so a delta bounded to specific selves and directions
+// leaves the other checks' bytes untouched. Falls back to a full
+// VerifyRoute when the old report's shape cannot be trusted to line up
+// with the pair walk.
+func (v *Verifier) PatchRoute(route bgpsim.Route, old RouteReport, dirty map[ir.ASN]CheckMask) RouteReport {
+	if route.HasASSet || old.Ignored != "" {
+		return v.VerifyRoute(route)
+	}
+	path := dedupePrepends(route.Path)
+	if len(path) <= 1 || len(old.Checks) != 2*(len(path)-1) {
+		return v.VerifyRoute(route)
+	}
+	rep := RouteReport{Route: route, Checks: make([]Check, 0, len(old.Checks))}
+	origin := path[len(path)-1]
+	ctx := &evalCtx{
+		pfx: route.Prefix, origin: origin, communities: route.Communities,
+	}
+	ci := 0
+	for i := len(path) - 2; i >= 0; i-- {
+		exporter, importer := path[i+1], path[i]
+		var prevAS ir.ASN
+		if i+2 < len(path) {
+			prevAS = path[i+2]
+		}
+		expCheck, impCheck := old.Checks[ci], old.Checks[ci+1]
+		if dirty[exporter]&MaskExport != 0 {
+			ctx.path = path[i+1:]
+			ctx.self, ctx.peer, ctx.dir, ctx.prevAS = exporter, importer, ir.DirExport, prevAS
+			expCheck = v.check(ctx)
+		}
+		if dirty[importer]&MaskImport != 0 {
+			ctx.path = path[i+1:]
+			ctx.self, ctx.peer, ctx.dir, ctx.prevAS = importer, exporter, ir.DirImport, exporter
+			impCheck = v.check(ctx)
+		}
+		rep.Checks = append(rep.Checks, expCheck, impCheck)
+		ci += 2
+	}
+	return rep
+}
+
 // check runs one import or export check for an AS pair, recording its
 // latency and outcome in the attached metrics.
 func (v *Verifier) check(ctx *evalCtx) Check {

@@ -16,6 +16,7 @@ import (
 
 	"rpslyzer/internal/asregex"
 	"rpslyzer/internal/asrel"
+	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/trace"
@@ -314,7 +315,17 @@ type Verifier struct {
 	// sketches (set with SetProfiler).
 	tracer   *trace.Tracer
 	profiler *Profiler
+
+	// graph, when non-nil, records each compiled program's dependency
+	// keys so Incremental can invalidate programs selectively (set with
+	// SetDepGraph).
+	graph *depgraph.Graph
 }
+
+// SetDepGraph attaches a dependency graph: every program compiled from
+// now on registers the objects it resolved. Attach it before the first
+// verification — programs compiled earlier have no recorded edges.
+func (v *Verifier) SetDepGraph(g *depgraph.Graph) { v.graph = g }
 
 // New creates a Verifier.
 func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
@@ -336,30 +347,50 @@ func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
 func (v *Verifier) precomputeOnlyProviderPolicies() {
 	v.onlyProviderPolicies = make(map[ir.ASN]bool)
 	for asn, an := range v.DB.IR.AutNums {
-		if an.RuleCount() == 0 {
-			continue
-		}
-		providers := v.Rels.Providers(asn)
-		isProvider := func(a ir.ASN) bool {
-			for _, p := range providers {
-				if p == a {
-					return true
-				}
-			}
-			return false
-		}
-		ok := true
-		sawPeering := false
-		forEachPeering(an, func(p *ir.Peering) {
-			sawPeering = true
-			if p.ASExpr == nil || p.ASExpr.Kind != ir.ASExprNum || !isProvider(p.ASExpr.ASN) {
-				ok = false
-			}
-		})
-		if ok && sawPeering {
+		if v.onlyProviderPolicy(asn, an) {
 			v.onlyProviderPolicies[asn] = true
 		}
 	}
+}
+
+// onlyProviderPolicy decides the Only Provider Policies property for
+// one aut-num. It depends only on the aut-num's own peerings and the
+// (static) relationship database, so an incremental update needs to
+// recompute it only for the aut-nums a journal touched.
+func (v *Verifier) onlyProviderPolicy(asn ir.ASN, an *ir.AutNum) bool {
+	if an.RuleCount() == 0 {
+		return false
+	}
+	providers := v.Rels.Providers(asn)
+	isProvider := func(a ir.ASN) bool {
+		for _, p := range providers {
+			if p == a {
+				return true
+			}
+		}
+		return false
+	}
+	ok := true
+	sawPeering := false
+	forEachPeering(an, func(p *ir.Peering) {
+		sawPeering = true
+		if p.ASExpr == nil || p.ASExpr.Kind != ir.ASExprNum || !isProvider(p.ASExpr.ASN) {
+			ok = false
+		}
+	})
+	return ok && sawPeering
+}
+
+// refreshOnlyProviderPolicy re-derives the Only Provider Policies
+// entry for one AS against the current database. Callers must not race
+// it with verification (the map is read lock-free on the hot path).
+func (v *Verifier) refreshOnlyProviderPolicy(asn ir.ASN) {
+	an, ok := v.DB.AutNum(asn)
+	if ok && v.onlyProviderPolicy(asn, an) {
+		v.onlyProviderPolicies[asn] = true
+		return
+	}
+	delete(v.onlyProviderPolicies, asn)
 }
 
 // forEachPeering visits every peering in every rule of an aut-num.

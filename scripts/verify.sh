@@ -62,8 +62,8 @@ echo "== NRTM bench smoke (BenchmarkApplyJournal vs BenchmarkFullReparse, 1x)"
 go test -run '^$' -bench '^(BenchmarkApplyJournal|BenchmarkFullReparse)$' -benchtime 1x -json . > BENCH_nrtm.json
 grep -q '"Action":"pass"' BENCH_nrtm.json
 
-echo "== verify bench smoke (BenchmarkVerifyAll compiled+interp+traced, BenchmarkOriginsOf)"
-go test -run '^$' -bench '^(BenchmarkVerifyAll|BenchmarkVerifyAllTraced|BenchmarkOriginsOf)$' -benchtime 2x -count 3 -json . > BENCH_verify.json
+echo "== verify bench smoke (BenchmarkVerifyAll compiled+interp+traced, BenchmarkReverify, BenchmarkOriginsOf)"
+go test -run '^$' -bench '^(BenchmarkVerifyAll|BenchmarkVerifyAllTraced|BenchmarkReverify|BenchmarkOriginsOf)$' -benchtime 2x -count 3 -json . > BENCH_verify.json
 grep -q '"Action":"pass"' BENCH_verify.json
 # Tracing overhead gate: the traced run must stay within 5% of the
 # untraced compiled run. min-of-3 on both sides keeps scheduler/GC
@@ -73,6 +73,14 @@ traced_ns=$(grep '"Test":"BenchmarkVerifyAllTraced"' BENCH_verify.json | grep -o
 [ -n "$base_ns" ] && [ -n "$traced_ns" ]
 echo "VerifyAll ns/op: untraced=$base_ns traced=$traced_ns"
 awk "BEGIN { ratio = $traced_ns / $base_ns; printf \"tracing overhead: %.1f%%\n\", 100 * (ratio - 1); exit !(ratio <= 1.05) }"
+# Incremental re-verification gate: one NRTM step at ~1% churn must be
+# at least 20x faster than a from-scratch VerifyAll over the same
+# corpus (the engine lands around 50x; the gate leaves headroom for
+# noisy CI hosts). min-of-3 on both sides, as above.
+reverify_ns=$(grep '"Test":"BenchmarkReverify"' BENCH_verify.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+[ -n "$reverify_ns" ]
+echo "Reverify ns/op: $reverify_ns (full VerifyAll: $base_ns)"
+awk "BEGIN { speedup = $base_ns / $reverify_ns; printf \"incremental speedup: %.1fx\n\", speedup; exit !(speedup >= 20) }"
 
 echo "== mirror smoke (irrgen -evolve 3 + cmd/nrtm replay)"
 smoke=$(mktemp -d)
