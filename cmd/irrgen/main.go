@@ -29,9 +29,28 @@ func main() {
 		writeMRT   = flag.Bool("mrt", false, "also write routes.mrt in MRT TABLE_DUMP_V2 format")
 		evolveN    = flag.Int("evolve", 0, "also emit N evolution steps as NRTM journals under <out>/journals, with the final snapshot's dumps under <out>/final")
 		churn      = flag.Float64("churn", 0.01, "per-step policy and set churn fraction for -evolve (route add/withdraw run at half this rate)")
+		stream     = flag.Bool("stream", false, "stream dumps to disk as they generate instead of building them in memory (large corpora; incompatible with -mrt and -evolve)")
 	)
 	flag.Parse()
 	telemetry.SetupLogger("irrgen", nil)
+
+	if *stream {
+		if *writeMRT || *evolveN > 0 {
+			telemetry.Fatal("-stream is incompatible with -mrt and -evolve (both need the universe in memory)")
+		}
+		sizes, nroutes, err := core.WriteUniverseStream(
+			core.Options{Seed: *seed, ASes: *ases}, *collectors, *seed, *out)
+		if err != nil {
+			telemetry.Fatal("stream write failed", "err", err)
+		}
+		var total int64
+		for _, sz := range sizes {
+			total += sz
+		}
+		fmt.Fprintf(os.Stdout, "streamed %d IRR dumps (%.1f MiB), as-rel.txt, and %d routes to %s\n",
+			len(sizes), float64(total)/(1<<20), nroutes, *out)
+		return
+	}
 
 	sys, err := core.BuildSynthetic(core.Options{Seed: *seed, ASes: *ases})
 	if err != nil {

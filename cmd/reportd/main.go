@@ -48,6 +48,7 @@ import (
 	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/report"
 	"rpslyzer/internal/reportstore"
+	"rpslyzer/internal/shard"
 	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/trace"
 	"rpslyzer/internal/verify"
@@ -64,6 +65,7 @@ func main() {
 		addrFile       = flag.String("addr-file", "", "write the bound api= and metrics= addresses to this file (for scripted smokes)")
 		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
+		shardCount     = flag.Int("shards", runtime.GOMAXPROCS(0), "origin-AS shards for the database and verifier (1 = single-shard engine; reports are byte-identical at any count)")
 		cacheEntries   = flag.Int("cache-entries", 8192, "response cache capacity (entries; negative disables)")
 		pageSize       = flag.Int("page-size", 100, "default page length")
 		evalMode       = flag.String("eval", "compiled", "evaluation engine: 'compiled' or 'interp'")
@@ -132,9 +134,10 @@ func main() {
 		logger.Info("metrics endpoint listening", "addr", metricsBound)
 	}
 
-	vcfg := verify.Config{Eval: *evalMode}
+	vcfg := verify.Config{Eval: *evalMode, Shards: *shardCount}
 	profiler := verify.NewProfiler(*topK)
 	profiler.Register(tracer)
+	shardMetrics := shard.NewMetrics(reg)
 
 	var (
 		rels   *asrel.Database
@@ -163,6 +166,8 @@ func main() {
 		v.SetMetrics(verify.NewMetrics(reg))
 		v.SetTracer(tracer)
 		v.SetProfiler(profiler)
+		v.SetShardMetrics(shardMetrics)
+		shardMetrics.ObservePlan(db.ShardRouteCounts())
 		b := reportstore.NewBuilder()
 		vs := root.Child("verify-stream")
 		v.VerifyStream(routes, *workers, b.Add)
@@ -192,7 +197,8 @@ func main() {
 		if err != nil {
 			telemetry.Fatal("load dumps failed", "err", err)
 		}
-		db = irr.New(x)
+		db = irr.NewSharded(x, *shardCount)
+		shardMetrics.ObservePlan(db.ShardRouteCounts())
 	}
 
 	// Mirror mode re-verifies incrementally by default: the dependency
@@ -231,6 +237,7 @@ func main() {
 		inc.Verifier().SetMetrics(verify.NewMetrics(reg))
 		inc.Verifier().SetTracer(tracer)
 		inc.Verifier().SetProfiler(profiler)
+		inc.Verifier().SetShardMetrics(shardMetrics)
 		reg.GaugeFunc("rpslyzer_depgraph_programs",
 			"Compiled programs registered in the dependency graph.",
 			func() float64 { return float64(inc.GraphStats().Programs) })
@@ -277,6 +284,7 @@ func main() {
 			applies := 0
 			applyDelta = func(db *irr.Database, touched []depgraph.Key, parent *trace.Span) {
 				t0 := time.Now()
+				shardMetrics.ObservePlan(db.ShardRouteCounts())
 				root := trace.StartOrChild(tracer, parent, "rebuild", "reverify")
 				res := inc.Reverify(db, touched, *workers, root)
 				rm.routes.Add(int64(res.Routes))

@@ -44,6 +44,7 @@ func main() {
 		routes    = flag.String("routes", "data/routes.txt", "BGP route dump file")
 		oneRoute  = flag.String("route", "", "verify a single 'prefix|asn asn ...' route instead")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "verification workers")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "origin-AS shards for the database and verifier (1 = single-shard engine; output is byte-identical at any count)")
 		printRep  = flag.Bool("report", false, "print per-hop reports")
 		jsonOut   = flag.String("json", "", "write per-route reports as JSON lines to this file ('-' for stdout; importable by reportd -import)")
 		useCache  = flag.Bool("cache", false, "memoize whole-route results (collector feeds overlap)")
@@ -94,6 +95,7 @@ func main() {
 		Eval:             *evalMode,
 		SkipComplexRegex: *paperMode,
 		EnableRouteCache: *useCache,
+		Shards:           *shards,
 	}
 	db, verifier := core.BuildFromIR(x, rels, vcfg)
 	var prof *verify.Profiler

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"rpslyzer/internal/irr"
 	"rpslyzer/internal/nrtm"
 	"rpslyzer/internal/parser"
+	"rpslyzer/internal/shard"
 	"rpslyzer/internal/telemetry"
 	"rpslyzer/internal/trace"
 	"rpslyzer/internal/whois"
@@ -36,6 +38,7 @@ func main() {
 		listen         = flag.String("listen", "127.0.0.1:4343", "listen address")
 		metricsAddr    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 		logLevel       = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		shards         = flag.Int("shards", runtime.GOMAXPROCS(0), "origin-AS shards for the route indexes (1 = single-shard layout; responses are byte-identical at any count)")
 		mirrorDir      = flag.String("mirror", "", "watch this directory for *.nrtm journals and apply them incrementally")
 		mirrorInterval = flag.Duration("mirror-interval", 2*time.Second, "journal directory poll interval for -mirror")
 		traceSamples   = flag.String("trace-sample", "ingest=16,whois=64", "per-stage trace sampling as stage=N pairs (1-in-N); unlisted stages trace every operation")
@@ -74,10 +77,12 @@ func main() {
 	if err != nil {
 		telemetry.Fatal("load failed", "err", err)
 	}
-	srv := whois.NewServer(irr.New(x))
+	srv := whois.NewServer(irr.NewSharded(x, *shards))
 	srv.Metrics = whois.NewMetrics(reg)
 	srv.Logger = logger
 	srv.Tracer = tracer
+	shardMetrics := shard.NewMetrics(reg)
+	shardMetrics.ObservePlan(srv.DB().ShardRouteCounts())
 
 	var stopMirror chan struct{}
 	if *mirrorDir != "" {
@@ -94,7 +99,10 @@ func main() {
 				x, _, err := core.LoadDumpDir(dumpDir)
 				return x, err
 			},
-			OnSwap: func(db *irr.Database, _ *trace.Span) { srv.SetDB(db) },
+			OnSwap: func(db *irr.Database, _ *trace.Span) {
+				srv.SetDB(db)
+				shardMetrics.ObservePlan(db.ShardRouteCounts())
+			},
 		}, stopMirror)
 	}
 

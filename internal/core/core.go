@@ -53,6 +53,11 @@ type Options struct {
 	// Collectors is the number of BGP route collectors (default 20,
 	// standing in for the paper's 60).
 	Collectors int
+	// Shards partitions the route database and the verifier's bulk
+	// drivers by origin-AS shard (see irr.NewSharded and
+	// verify.Config.Shards). <= 1 keeps the single-shard engine; the
+	// verifier additionally honors Verify.Shards if that is set higher.
+	Shards int
 	// Verify tunes the verifier.
 	Verify verify.Config
 	// Gen overrides generator rates (zero fields keep paper-calibrated
@@ -77,6 +82,9 @@ func (o *Options) fill() {
 	}
 	if o.Gen.Seed == 0 {
 		o.Gen.Seed = o.Seed
+	}
+	if o.Verify.Shards == 0 {
+		o.Verify.Shards = o.Shards
 	}
 }
 
@@ -106,7 +114,7 @@ func BuildSynthetic(opts Options) (*System, error) {
 		dumps = append(dumps, Dump{Name: name, R: strings.NewReader(universe.DumpText(name))})
 	}
 	x := ParseDumps(dumps...)
-	db := irr.New(x)
+	db := irr.NewSharded(x, opts.Shards)
 	verifier := verify.New(db, topo.Rels, opts.Verify)
 	return &System{
 		Topo:      topo,
@@ -136,9 +144,10 @@ func (s *System) VerifyRoutes(routes []bgpsim.Route, workers int) *report.Aggreg
 
 // BuildFromIR wires a verifier over an already-parsed IR and an
 // externally supplied relationship database (e.g. loaded from a CAIDA
-// file) — the path real-dump users take.
+// file) — the path real-dump users take. cfg.Shards partitions the
+// database and the verifier together (one knob, same partition).
 func BuildFromIR(x *ir.IR, rels *asrel.Database, cfg verify.Config) (*irr.Database, *verify.Verifier) {
-	db := irr.New(x)
+	db := irr.NewSharded(x, cfg.Shards)
 	return db, verify.New(db, rels, cfg)
 }
 

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +17,7 @@ import (
 	"rpslyzer/internal/irrgen"
 	"rpslyzer/internal/mrt"
 	"rpslyzer/internal/render"
+	"rpslyzer/internal/topology"
 )
 
 // WriteUniverse writes a generated universe to dir: one "<irr>.db"
@@ -54,6 +57,84 @@ func WriteUniverse(sys *System, routes []bgpsim.Route, dir string) error {
 		return rf.Close()
 	}
 	return nil
+}
+
+// WriteUniverseStream generates a synthetic universe of opts's size
+// directly into dir without ever materializing the dump text or a
+// parsed IR in memory: each registry's dump streams through a buffered
+// writer to "<irr>.db" as it is generated. The topology, ground-truth
+// relationships ("as-rel.txt"), and collected routes ("routes.txt",
+// collectors/routeSeed as in System.CollectRoutes) are written the
+// same as WriteUniverse. This is the large-corpus path: peak heap is
+// the topology plus one route table, not the multi-GiB dump text.
+// It returns per-IRR dump sizes and the number of routes written.
+func WriteUniverseStream(opts Options, collectors int, routeSeed int64, dir string) (map[string]int64, int, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	topo := topology.Generate(opts.Topo)
+
+	var (
+		files []*os.File
+		bufs  []*bufio.Writer
+	)
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	u, err := irrgen.GenerateStream(topo, opts.Gen, func(name string) (io.Writer, error) {
+		f, err := os.Create(filepath.Join(dir, strings.ToLower(name)+".db"))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		w := bufio.NewWriterSize(f, 1<<18)
+		bufs = append(bufs, w)
+		return w, nil
+	})
+	if err != nil {
+		closeAll()
+		return nil, 0, err
+	}
+	for i, w := range bufs {
+		if err := w.Flush(); err == nil {
+			err = files[i].Close()
+			files[i] = nil
+		}
+		if err != nil {
+			closeAll()
+			return nil, 0, err
+		}
+	}
+
+	relF, err := os.Create(filepath.Join(dir, "as-rel.txt"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := topo.Rels.WriteCAIDA(relF); err != nil {
+		relF.Close()
+		return nil, 0, err
+	}
+	if err := relF.Close(); err != nil {
+		return nil, 0, err
+	}
+
+	sim := bgpsim.NewSimulator(topo)
+	routes := sim.CollectRoutes(sim.DefaultCollectors(collectors), bgpsim.Options{Seed: routeSeed})
+	rf, err := os.Create(filepath.Join(dir, "routes.txt"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := bgpsim.WriteDump(rf, routes); err != nil {
+		rf.Close()
+		return nil, 0, err
+	}
+	if err := rf.Close(); err != nil {
+		return nil, 0, err
+	}
+	return u.DumpSizes(), len(routes), nil
 }
 
 // WriteIRDumps renders x as per-registry RPSL dumps in dir, one

@@ -3,6 +3,8 @@ package core
 import (
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/parser"
+	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/shard"
 )
 
 // LoadOptions tunes the parallel ingestion pipeline.
@@ -12,6 +14,12 @@ type LoadOptions struct {
 	// ChunkSize is the splitter's target chunk payload in bytes; <= 0
 	// keeps the default.
 	ChunkSize int
+	// Shards partitions the merge stage's route accumulation by origin
+	// shard (the same partition irr.NewSharded uses); <= 1 keeps a
+	// single accumulator. The final IR is identical at every setting —
+	// per-shard streams are re-merged into feed order — but sharded
+	// accumulation keeps each dedup map and route slice shard-sized.
+	Shards int
 	// Stats, when non-nil, receives progress counters as the pipeline
 	// runs (bytes, objects, chunks, parse errors, per-worker tallies).
 	Stats *parser.LoadStats
@@ -23,10 +31,17 @@ type LoadOptions struct {
 
 // ParseDumpsParallel parses IRR dumps through the streaming pipeline:
 // each dump is split into chunks of whole RPSL objects, a worker pool
-// parses chunks concurrently, and a merge stage reassembles the chunk
-// IRs in feed order. The result is deeply equal to ParseDumps over the
-// same dumps: IRR priority order, first-definition-wins duplicate
-// resolution, route ordering, and error ordering are all preserved.
+// parses chunks concurrently into flat object lists, and a merge stage
+// applies the chunk results in feed order. The result is deeply equal
+// to ParseDumps over the same dumps: IRR priority order,
+// first-definition-wins duplicate resolution, route ordering, and
+// error ordering are all preserved.
+//
+// The workers deliberately do no duplicate resolution of their own:
+// cross-chunk duplicates can only be resolved globally, so chunk-local
+// maps would be pure overhead on top of the merge stage's map
+// insertions — which are exactly the insertions the sequential Builder
+// performs, no more.
 func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 	if opts.Sequential {
 		return ParseDumps(dumps...)
@@ -57,53 +72,78 @@ func ParseDumpsParallel(opts LoadOptions, dumps ...Dump) *ir.IR {
 	results := parser.ParseChunks(chunks, workers, opts.Stats)
 
 	// Merge: apply chunk results strictly in sequence order. Results
-	// arrive in completion order, so out-of-order ones wait in a reorder
-	// buffer; its size is bounded by the number of in-flight chunks
-	// (pool size plus channel capacity).
-	m := newMerger()
-	pending := make(map[int]parser.ChunkResult)
+	// arrive in completion order; out-of-order ones wait in a ring
+	// buffer indexed by (seq - next), bounded by the number of in-flight
+	// chunks (pool size plus channel capacity).
+	m := newMerger(opts.Shards)
+	var ring []parser.ChunkResult
+	var present []bool
+	buffered := 0
 	next := 0
 	for res := range results {
-		pending[res.Seq] = res
-		metrics.ObserveReorderDepth(len(pending))
-		for {
-			r, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			m.apply(r)
+		idx := res.Seq - next
+		for idx >= len(ring) {
+			ring = append(ring, parser.ChunkResult{})
+			present = append(present, false)
+		}
+		ring[idx], present[idx] = res, true
+		buffered++
+		metrics.ObserveReorderDepth(buffered)
+		for len(present) > 0 && present[0] {
+			m.apply(ring[0])
+			ring[0], present[0] = parser.ChunkResult{}, false
+			ring, present = ring[1:], present[1:]
+			buffered--
 			next++
 		}
-		metrics.ObserveReorderDepth(len(pending))
+		metrics.ObserveReorderDepth(buffered)
 	}
 	return m.finish()
 }
 
-// merger reassembles chunk IRs into one IR with the exact semantics of
-// the sequential Builder: first definition wins across the whole feed,
-// route objects deduplicate on (prefix, origin, source) globally, and
-// each dump's reader diagnostics land after all of that dump's parse
-// errors.
+// merger reassembles flat chunk results into one IR with the exact
+// semantics of the sequential Builder: first definition wins across the
+// whole feed, route objects deduplicate on (prefix, origin, source)
+// globally, and each dump's reader diagnostics land after all of that
+// dump's parse errors. Routes accumulate into per-origin-shard parts
+// (each with its own shard-sized dedup map), tagged with a global
+// sequence number so finish can re-merge them into exact feed order.
 type merger struct {
-	out        *ir.IR
-	seenRoutes map[mergeRouteKey]bool
-	curDump    int
-	diags      []ir.ParseError
+	out      *ir.IR
+	parts    []mergePart
+	nshards  int
+	routeSeq int64
+	curDump  int
+	diags    []ir.ParseError
+}
+
+// mergePart accumulates one origin shard's routes in feed order.
+type mergePart struct {
+	routes []*ir.RouteObject
+	seqs   []int64
+	seen   map[mergeRouteKey]bool
 }
 
 type mergeRouteKey struct {
-	prefix string
+	prefix prefix.Prefix
 	origin ir.ASN
 	source string
 }
 
-func newMerger() *merger {
-	return &merger{
-		out:        ir.New(),
-		seenRoutes: make(map[mergeRouteKey]bool),
-		curDump:    -1,
+func newMerger(shards int) *merger {
+	if shards < 1 {
+		shards = 1
 	}
+	m := &merger{
+		out:     ir.New(),
+		parts:   make([]mergePart, shards),
+		nshards: shards,
+		curDump: -1,
+	}
+	for i := range m.parts {
+		m.parts[i].seen = make(map[mergeRouteKey]bool)
+	}
+	return m
 }
 
 func (m *merger) apply(res parser.ChunkResult) {
@@ -111,59 +151,65 @@ func (m *merger) apply(res parser.ChunkResult) {
 		m.flushDiags()
 		m.curDump = res.DumpIndex
 	}
-	x := res.IR
-	// First-definition-wins classes. Within a chunk the Builder already
-	// resolved duplicates, so each chunk map holds at most one
-	// definition per key and insertion order within the map does not
-	// matter; across chunks, sequence order decides.
-	for asn, an := range x.AutNums {
-		if _, dup := m.out.AutNums[asn]; !dup {
-			m.out.AutNums[asn] = an
+	// First-definition-wins classes, in chunk encounter order — applied
+	// in sequence order, this is the sequential Builder's insertion
+	// order exactly.
+	f := res.Flat
+	for _, an := range f.AutNums {
+		if _, dup := m.out.AutNums[an.ASN]; !dup {
+			m.out.AutNums[an.ASN] = an
 		}
 	}
-	for name, s := range x.AsSets {
-		if _, dup := m.out.AsSets[name]; !dup {
-			m.out.AsSets[name] = s
+	for _, s := range f.AsSets {
+		if _, dup := m.out.AsSets[s.Name]; !dup {
+			m.out.AsSets[s.Name] = s
 		}
 	}
-	for name, s := range x.RouteSets {
-		if _, dup := m.out.RouteSets[name]; !dup {
-			m.out.RouteSets[name] = s
+	for _, s := range f.RouteSets {
+		if _, dup := m.out.RouteSets[s.Name]; !dup {
+			m.out.RouteSets[s.Name] = s
 		}
 	}
-	for name, s := range x.PeeringSets {
-		if _, dup := m.out.PeeringSets[name]; !dup {
-			m.out.PeeringSets[name] = s
+	for _, s := range f.PeeringSets {
+		if _, dup := m.out.PeeringSets[s.Name]; !dup {
+			m.out.PeeringSets[s.Name] = s
 		}
 	}
-	for name, s := range x.FilterSets {
-		if _, dup := m.out.FilterSets[name]; !dup {
-			m.out.FilterSets[name] = s
+	for _, s := range f.FilterSets {
+		if _, dup := m.out.FilterSets[s.Name]; !dup {
+			m.out.FilterSets[s.Name] = s
 		}
 	}
-	for name, s := range x.InetRtrs {
-		if _, dup := m.out.InetRtrs[name]; !dup {
-			m.out.InetRtrs[name] = s
+	for _, s := range f.InetRtrs {
+		if _, dup := m.out.InetRtrs[s.Name]; !dup {
+			m.out.InetRtrs[s.Name] = s
 		}
 	}
-	for name, s := range x.RtrSets {
-		if _, dup := m.out.RtrSets[name]; !dup {
-			m.out.RtrSets[name] = s
+	for _, s := range f.RtrSets {
+		if _, dup := m.out.RtrSets[s.Name]; !dup {
+			m.out.RtrSets[s.Name] = s
 		}
 	}
 	// Route objects keep every (prefix, origin, source) tuple once, in
-	// feed order.
-	for _, r := range x.Routes {
-		key := mergeRouteKey{r.Prefix.String(), r.Origin, r.Source}
-		if m.seenRoutes[key] {
+	// feed order, accumulated per origin shard. The dedup key contains
+	// the origin, so a tuple's duplicates always land in the same part
+	// and per-part maps are exact.
+	for _, r := range f.Routes {
+		p := &m.parts[shard.Of(r.Origin, m.nshards)]
+		key := mergeRouteKey{r.Prefix, r.Origin, r.Source}
+		if p.seen[key] {
 			continue
 		}
-		m.seenRoutes[key] = true
-		m.out.Routes = append(m.out.Routes, r)
+		p.seen[key] = true
+		p.routes = append(p.routes, r)
+		if m.nshards > 1 {
+			p.seqs = append(p.seqs, m.routeSeq)
+		}
+		m.routeSeq++
 	}
-	m.out.Errors = append(m.out.Errors, x.Errors...)
+	m.out.Errors = append(m.out.Errors, res.IR.Errors...)
 	m.diags = append(m.diags, res.Diags...)
-	for src, classes := range x.Counts {
+	for src, classes := range res.IR.Counts {
 		dst := m.out.Counts[src]
 		if dst == nil {
 			dst = make(map[string]int, len(classes))
@@ -185,5 +231,32 @@ func (m *merger) flushDiags() {
 
 func (m *merger) finish() *ir.IR {
 	m.flushDiags()
+	if m.nshards == 1 {
+		m.out.Routes = m.parts[0].routes
+		return m.out
+	}
+	// K-way merge of the per-shard streams by global sequence number
+	// restores exact feed order; each part's seqs are increasing, so one
+	// cursor per part suffices.
+	total := 0
+	for i := range m.parts {
+		total += len(m.parts[i].routes)
+	}
+	m.out.Routes = make([]*ir.RouteObject, 0, total)
+	cursors := make([]int, len(m.parts))
+	for len(m.out.Routes) < total {
+		best, bestSeq := -1, int64(0)
+		for i := range m.parts {
+			c := cursors[i]
+			if c >= len(m.parts[i].routes) {
+				continue
+			}
+			if best == -1 || m.parts[i].seqs[c] < bestSeq {
+				best, bestSeq = i, m.parts[i].seqs[c]
+			}
+		}
+		m.out.Routes = append(m.out.Routes, m.parts[best].routes[cursors[best]])
+		cursors[best]++
+	}
 	return m.out
 }

@@ -19,6 +19,7 @@ import (
 
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/prefix"
+	"rpslyzer/internal/shard"
 	"rpslyzer/internal/symtab"
 )
 
@@ -34,21 +35,23 @@ type Database struct {
 	// grown past what this snapshot indexed.
 	syms *symtab.Table
 
-	// routesByOrigin maps each origin AS (by ASN symbol ID) to its
-	// route-object prefixes. A nil entry means the AS never appears as
-	// an origin.
-	routesByOrigin []*prefix.Table
+	// parts holds the route indexes, partitioned by shard.Of(origin).
+	// All route objects of one origin live wholly inside one part, so
+	// per-origin lookups (routeTableOf, the verifier's origin checks)
+	// are exact single-part reads; only prefix-keyed queries (OriginsOf
+	// and the whois coverage walks) fan out and merge. shardN == 1 is
+	// the unsharded layout: one part holding exactly the indexes the
+	// pre-shard engine built, with no merge machinery on any path.
+	shardN int
+	parts  []*routePart
 
-	// routeTrie maps an exact prefix to the origins of its route
-	// objects (the paper's multi-origin analysis and the Export Self
-	// relaxation both need this reverse index) together with how many
-	// route objects (across sources) record each (prefix, origin) pair,
-	// which is what incremental removal needs to know when a pair truly
-	// leaves the indexes. The trie is persistent: clones share it by
-	// pointer and mutators swap in the root returned by Insert/Delete,
-	// and it doubles as the longest-prefix-match index behind the whois
-	// coverage queries.
-	routeTrie *prefix.Trie[prefixOrigins]
+	// seqNext numbers (prefix, origin) pairs in global first-seen order
+	// when shardN > 1; prefixOrigins.seq snapshots it so cross-shard
+	// merges can reproduce the exact origin ordering the unsharded
+	// build would have produced. Single-shard databases never consume
+	// it (their merges are trivial), but it is maintained regardless so
+	// a clone chain stays consistent.
+	seqNext int64
 
 	// asSetIndirect lists ASNs joined to each as-set (by as-set symbol
 	// ID) via member-of + mbrs-by-ref; routeSetIndirect likewise for
@@ -103,11 +106,49 @@ type FlatRouteSet struct {
 	InLoop bool
 }
 
-// New builds the indexed database from an IR.
-func New(x *ir.IR) *Database {
+// routePart is one shard's slice of the route indexes.
+type routePart struct {
+	// routesByOrigin maps each origin AS (by ASN symbol ID) to its
+	// route-object prefixes. A nil entry means the AS never appears as
+	// an origin (or its origin hashes to another part). The slice is
+	// indexed by global symtab IDs, so it is sparse when sharded; the
+	// tables it points at are the dominant memory, not the spine.
+	routesByOrigin []*prefix.Table
+
+	// routeTrie maps an exact prefix to the origins of its route
+	// objects (the paper's multi-origin analysis and the Export Self
+	// relaxation both need this reverse index) together with how many
+	// route objects (across sources) record each (prefix, origin) pair,
+	// which is what incremental removal needs to know when a pair truly
+	// leaves the indexes. The trie is persistent: clones share it by
+	// pointer and mutators swap in the root returned by Insert/Delete,
+	// and it doubles as the longest-prefix-match index behind the whois
+	// coverage queries.
+	routeTrie *prefix.Trie[prefixOrigins]
+
+	// nroutes counts the route objects (with multiplicity) this part
+	// owns; the shard-imbalance telemetry reads it.
+	nroutes int
+}
+
+// New builds the indexed database from an IR with a single shard —
+// the exact layout and behavior of the pre-shard engine.
+func New(x *ir.IR) *Database { return NewSharded(x, 1) }
+
+// NewSharded builds the indexed database with the route indexes
+// partitioned into shards parts keyed by a stable hash of the origin
+// ASN. Sets, aut-nums, and the flattened set plane stay shared across
+// shards (set flattening needs the whole route universe); only the
+// per-origin tables and the prefix→origins trie are partitioned.
+// Queries return byte-identical results at any shard count.
+func NewSharded(x *ir.IR, shards int) *Database {
+	if shards < 1 {
+		shards = 1
+	}
 	db := &Database{
 		IR:          x,
 		syms:        symtab.NewTable(),
+		shardN:      shards,
 		asSetTables: make(map[symtab.ID]*prefix.Table),
 	}
 	db.internSymbols()
@@ -116,6 +157,19 @@ func New(x *ir.IR) *Database {
 	db.flattenAsSets()
 	db.flattenRouteSets()
 	return db
+}
+
+// Shards returns the number of route-index partitions.
+func (db *Database) Shards() int { return db.shardN }
+
+// ShardRouteCounts returns the number of route objects owned by each
+// shard, for the imbalance telemetry.
+func (db *Database) ShardRouteCounts() []int {
+	counts := make([]int, len(db.parts))
+	for i, p := range db.parts {
+		counts[i] = p.nroutes
+	}
+	return counts
 }
 
 // internSymbols assigns dense IDs to every set name and ASN in the IR,
@@ -177,58 +231,150 @@ func slicePut[T any](s []T, id symtab.ID, v T) []T {
 	return s
 }
 
-// prefixOrigins is the per-prefix record in routeTrie: the distinct
-// origins of a prefix's route objects in first-seen order, with counts
-// parallel to origins giving each (prefix, origin) pair's route-object
-// multiplicity across sources. Values shared between snapshots are
-// immutable; mutators replace the slices instead of editing them.
+// prefixOrigins is the per-prefix record in a part's routeTrie: the
+// distinct origins of a prefix's route objects in first-seen order,
+// with counts parallel to origins giving each (prefix, origin) pair's
+// route-object multiplicity across sources. seq (populated only when
+// the database is sharded) numbers each pair in global first-seen
+// order so a cross-shard merge can restore the exact single-shard
+// origin ordering. Values shared between snapshots are immutable;
+// mutators replace the slices instead of editing them.
 type prefixOrigins struct {
 	origins []ir.ASN
 	counts  []int
+	seq     []int64
 }
 
 // indexRoutes builds per-origin route tables and the per-prefix
-// origin/multiplicity trie.
+// origin/multiplicity trie, one part per shard. Parts are disjoint by
+// construction (partitioned on origin), so they build concurrently.
 func (db *Database) indexRoutes() {
+	n := db.shardN
+	db.parts = make([]*routePart, n)
+	db.seqNext = int64(len(db.IR.Routes))
+	if n == 1 {
+		db.parts[0] = buildRoutePart(db, db.IR.Routes, nil)
+		return
+	}
+	perShard := make([][]*ir.RouteObject, n)
+	perSeq := make([][]int64, n)
+	for i, r := range db.IR.Routes {
+		s := shard.Of(r.Origin, n)
+		perShard[s] = append(perShard[s], r)
+		perSeq[s] = append(perSeq[s], int64(i))
+	}
+	// Pre-intern every origin in feed order so ASN symbol IDs come out
+	// identical at any shard count (the concurrent part builds below
+	// would otherwise race to mint IDs).
+	for _, r := range db.IR.Routes {
+		db.syms.ASNs.Intern(uint32(r.Origin))
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			db.parts[s] = buildRoutePart(db, perShard[s], perSeq[s])
+		}(s)
+	}
+	wg.Wait()
+}
+
+// buildRoutePart indexes one shard's routes. seqs, parallel to routes,
+// carries each route's global feed position; nil on the unsharded
+// path, where merge ordering is never needed.
+func buildRoutePart(db *Database, routes []*ir.RouteObject, seqs []int64) *routePart {
+	p := &routePart{nroutes: len(routes)}
 	byOrigin := make(map[ir.ASN][]prefix.Range)
 	var tr *prefix.Trie[prefixOrigins]
-	for _, r := range db.IR.Routes {
+	for i, r := range routes {
 		po, _ := tr.Get(r.Prefix)
-		if i := slices.Index(po.origins, r.Origin); i >= 0 {
-			po.counts[i]++ // fresh build: the backing array is unshared
+		if j := slices.Index(po.origins, r.Origin); j >= 0 {
+			po.counts[j]++ // fresh build: the backing array is unshared
 			continue
 		}
 		po.origins = append(po.origins, r.Origin)
 		po.counts = append(po.counts, 1)
+		if seqs != nil {
+			po.seq = append(po.seq, seqs[i])
+		}
 		byOrigin[r.Origin] = append(byOrigin[r.Origin], prefix.Range{Prefix: r.Prefix})
 		tr = tr.Insert(r.Prefix, po)
 	}
-	db.routeTrie = tr
+	p.routeTrie = tr
 	for asn, ranges := range byOrigin {
-		db.setRouteTable(asn, prefix.NewTable(ranges))
+		p.setRouteTable(db.syms, asn, prefix.NewTable(ranges))
 	}
+	return p
+}
+
+// partOf returns the part owning an origin's routes.
+func (db *Database) partOf(asn ir.ASN) *routePart {
+	return db.parts[shard.Of(asn, db.shardN)]
 }
 
 // routeTableOf returns the per-origin table, or nil when the AS has no
-// route objects.
+// route objects. Exact single-part lookup: an origin's routes are
+// never split across shards.
 func (db *Database) routeTableOf(asn ir.ASN) *prefix.Table {
 	id, ok := db.syms.ASNs.Lookup(uint32(asn))
 	if !ok {
 		return nil
 	}
-	return sliceAt(db.routesByOrigin, id)
+	return sliceAt(db.partOf(asn).routesByOrigin, id)
 }
 
 func (db *Database) setRouteTable(asn ir.ASN, t *prefix.Table) {
-	id := db.syms.ASNs.Intern(uint32(asn))
-	db.routesByOrigin = slicePut(db.routesByOrigin, id, t)
+	db.partOf(asn).setRouteTable(db.syms, asn, t)
+}
+
+func (p *routePart) setRouteTable(syms *symtab.Table, asn ir.ASN, t *prefix.Table) {
+	id := syms.ASNs.Intern(uint32(asn))
+	p.routesByOrigin = slicePut(p.routesByOrigin, id, t)
 }
 
 // OriginsOf returns the origins of route objects registered for
-// exactly this prefix.
+// exactly this prefix, in global first-seen order.
 func (db *Database) OriginsOf(p prefix.Prefix) []ir.ASN {
-	po, _ := db.routeTrie.Get(p)
-	return po.origins
+	if db.shardN == 1 {
+		po, _ := db.parts[0].routeTrie.Get(p)
+		return po.origins
+	}
+	var merged prefixOrigins
+	found := 0
+	for _, part := range db.parts {
+		if po, ok := part.routeTrie.Get(p); ok {
+			merged = appendOrigins(merged, po)
+			found++
+		}
+	}
+	if found > 1 {
+		sortBySeq(&merged)
+	}
+	return merged.origins
+}
+
+// appendOrigins concatenates one part's pair record onto an
+// accumulator (allocating; the inputs stay shared and immutable).
+func appendOrigins(dst prefixOrigins, src prefixOrigins) prefixOrigins {
+	dst.origins = append(dst.origins, src.origins...)
+	dst.counts = append(dst.counts, src.counts...)
+	dst.seq = append(dst.seq, src.seq...)
+	return dst
+}
+
+// sortBySeq restores global first-seen pair order after a cross-shard
+// gather. Within one part the seq slice is already ascending, so this
+// is a merge of sorted runs; plain insertion sort is fine at the tiny
+// origin counts prefixes actually have.
+func sortBySeq(po *prefixOrigins) {
+	for i := 1; i < len(po.seq); i++ {
+		for j := i; j > 0 && po.seq[j] < po.seq[j-1]; j-- {
+			po.seq[j], po.seq[j-1] = po.seq[j-1], po.seq[j]
+			po.origins[j], po.origins[j-1] = po.origins[j-1], po.origins[j]
+			po.counts[j], po.counts[j-1] = po.counts[j-1], po.counts[j]
+		}
+	}
 }
 
 // PrefixOrigins couples a registered prefix with the origins of its
@@ -240,24 +386,78 @@ type PrefixOrigins struct {
 
 // RoutesCovering returns every registered route prefix that covers p
 // (p itself and its less-specifics), shortest first, with the origins
-// of each. The walk is a single radix-trie descent.
+// of each. Unsharded, the walk is a single radix-trie descent; sharded
+// it descends every part and merges (covering prefixes form a nested
+// chain, so shortest-first equals Prefix.Compare order).
 func (db *Database) RoutesCovering(p prefix.Prefix) []PrefixOrigins {
-	var out []PrefixOrigins
-	db.routeTrie.Covering(p, func(q prefix.Prefix, po prefixOrigins) bool {
-		out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
-		return true
+	if db.shardN == 1 {
+		var out []PrefixOrigins
+		db.parts[0].routeTrie.Covering(p, func(q prefix.Prefix, po prefixOrigins) bool {
+			out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
+			return true
+		})
+		return out
+	}
+	return db.gatherWalk(func(part *routePart, yield func(prefix.Prefix, prefixOrigins) bool) {
+		part.routeTrie.Covering(p, yield)
 	})
-	return out
 }
 
 // RoutesCoveredBy returns every registered route prefix covered by p
 // (p itself and its more-specifics) in prefix order, with origins.
 func (db *Database) RoutesCoveredBy(p prefix.Prefix) []PrefixOrigins {
-	var out []PrefixOrigins
-	db.routeTrie.CoveredBy(p, func(q prefix.Prefix, po prefixOrigins) bool {
-		out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
-		return true
+	if db.shardN == 1 {
+		var out []PrefixOrigins
+		db.parts[0].routeTrie.CoveredBy(p, func(q prefix.Prefix, po prefixOrigins) bool {
+			out = append(out, PrefixOrigins{Prefix: q, Origins: po.origins})
+			return true
+		})
+		return out
+	}
+	return db.gatherWalk(func(part *routePart, yield func(prefix.Prefix, prefixOrigins) bool) {
+		part.routeTrie.CoveredBy(p, yield)
 	})
+}
+
+// gatherWalk runs one trie walk per part, then merges the gathered
+// entries back into the exact order and origin layout the unsharded
+// trie would have produced: entries sorted by Prefix.Compare (both
+// walk kinds yield in that order within a part), equal prefixes
+// coalesced with origins restored to global first-seen order via seq.
+func (db *Database) gatherWalk(walk func(*routePart, func(prefix.Prefix, prefixOrigins) bool)) []PrefixOrigins {
+	type ent struct {
+		pfx prefix.Prefix
+		po  prefixOrigins
+	}
+	var all []ent
+	for _, part := range db.parts {
+		walk(part, func(q prefix.Prefix, po prefixOrigins) bool {
+			all = append(all, ent{q, po})
+			return true
+		})
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	slices.SortStableFunc(all, func(a, b ent) int { return a.pfx.Compare(b.pfx) })
+	out := make([]PrefixOrigins, 0, len(all))
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && all[j].pfx == all[i].pfx {
+			j++
+		}
+		if j == i+1 {
+			out = append(out, PrefixOrigins{Prefix: all[i].pfx, Origins: all[i].po.origins})
+		} else {
+			var merged prefixOrigins
+			for _, e := range all[i:j] {
+				merged = appendOrigins(merged, e.po)
+			}
+			sortBySeq(&merged)
+			out = append(out, PrefixOrigins{Prefix: all[i].pfx, Origins: merged.origins})
+		}
+		i = j
+	}
 	return out
 }
 

@@ -29,11 +29,20 @@ import (
 // as-set table cache starts empty, since route mutations would
 // invalidate it.
 func (db *Database) Clone() *Database {
+	parts := make([]*routePart, len(db.parts))
+	for i, p := range db.parts {
+		parts[i] = &routePart{
+			routesByOrigin: slices.Clone(p.routesByOrigin),
+			routeTrie:      p.routeTrie,
+			nroutes:        p.nroutes,
+		}
+	}
 	return &Database{
 		IR:               db.IR.Clone(),
 		syms:             db.syms,
-		routesByOrigin:   slices.Clone(db.routesByOrigin),
-		routeTrie:        db.routeTrie,
+		shardN:           db.shardN,
+		parts:            parts,
+		seqNext:          db.seqNext,
 		asSetIndirect:    slices.Clone(db.asSetIndirect),
 		routeSetIndirect: slices.Clone(db.routeSetIndirect),
 		flatAsSets:       slices.Clone(db.flatAsSets),
@@ -47,12 +56,16 @@ func (db *Database) Clone() *Database {
 // Flattened route-sets are not updated; call ReflattenRouteSets once
 // after a batch of mutations.
 func (db *Database) AddRoute(r *ir.RouteObject) {
-	po, _ := db.routeTrie.Get(r.Prefix)
+	part := db.partOf(r.Origin)
+	part.nroutes++
+	seq := db.seqNext
+	db.seqNext++ // advanced on every add so clone chains agree at any shard count
+	po, _ := part.routeTrie.Get(r.Prefix)
 	if i := slices.Index(po.origins, r.Origin); i >= 0 {
 		counts := slices.Clone(po.counts)
 		counts[i]++
-		db.routeTrie = db.routeTrie.Insert(r.Prefix,
-			prefixOrigins{origins: po.origins, counts: counts})
+		part.routeTrie = part.routeTrie.Insert(r.Prefix,
+			prefixOrigins{origins: po.origins, counts: counts, seq: po.seq})
 	} else {
 		var ranges []prefix.Range
 		if t := db.routeTableOf(r.Origin); t != nil {
@@ -60,10 +73,14 @@ func (db *Database) AddRoute(r *ir.RouteObject) {
 		}
 		ranges = append(ranges, prefix.Range{Prefix: r.Prefix})
 		db.setRouteTable(r.Origin, prefix.NewTable(ranges))
-		db.routeTrie = db.routeTrie.Insert(r.Prefix, prefixOrigins{
+		npo := prefixOrigins{
 			origins: append(slices.Clone(po.origins), r.Origin),
 			counts:  append(slices.Clone(po.counts), 1),
-		})
+		}
+		if db.shardN > 1 {
+			npo.seq = append(slices.Clone(po.seq), seq)
+		}
+		part.routeTrie = part.routeTrie.Insert(r.Prefix, npo)
 	}
 	for _, setName := range r.MemberOfs {
 		set, ok := db.IR.RouteSets[setName]
@@ -80,16 +97,18 @@ func (db *Database) AddRoute(r *ir.RouteObject) {
 // (prefix, origin) pair leaves the per-origin table and the reverse
 // index only when its last route object (across sources) is gone.
 func (db *Database) RemoveRoute(r *ir.RouteObject) {
-	po, _ := db.routeTrie.Get(r.Prefix)
+	part := db.partOf(r.Origin)
+	po, _ := part.routeTrie.Get(r.Prefix)
 	i := slices.Index(po.origins, r.Origin)
 	if i < 0 {
 		return
 	}
+	part.nroutes--
 	if po.counts[i] > 1 {
 		counts := slices.Clone(po.counts)
 		counts[i]--
-		db.routeTrie = db.routeTrie.Insert(r.Prefix,
-			prefixOrigins{origins: po.origins, counts: counts})
+		part.routeTrie = part.routeTrie.Insert(r.Prefix,
+			prefixOrigins{origins: po.origins, counts: counts, seq: po.seq})
 	} else {
 		// Last route object for the (prefix, origin) pair: the pair
 		// leaves the per-origin table and the reverse index.
@@ -107,18 +126,22 @@ func (db *Database) RemoveRoute(r *ir.RouteObject) {
 			}
 		}
 		if len(po.origins) == 1 {
-			db.routeTrie = db.routeTrie.Delete(r.Prefix)
+			part.routeTrie = part.routeTrie.Delete(r.Prefix)
 		} else {
 			origins := make([]ir.ASN, 0, len(po.origins)-1)
 			counts := make([]int, 0, len(po.counts)-1)
+			var seq []int64
 			for j := range po.origins {
 				if j != i {
 					origins = append(origins, po.origins[j])
 					counts = append(counts, po.counts[j])
+					if po.seq != nil {
+						seq = append(seq, po.seq[j])
+					}
 				}
 			}
-			db.routeTrie = db.routeTrie.Insert(r.Prefix,
-				prefixOrigins{origins: origins, counts: counts})
+			part.routeTrie = part.routeTrie.Insert(r.Prefix,
+				prefixOrigins{origins: origins, counts: counts, seq: seq})
 		}
 	}
 	for _, setName := range r.MemberOfs {

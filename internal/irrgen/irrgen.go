@@ -11,6 +11,7 @@ package irrgen
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
@@ -136,12 +137,39 @@ func (c *Config) fill() {
 // Universe is a generated registry: per-IRR dump text plus bookkeeping
 // for the experiments.
 type Universe struct {
-	Topo  *topology.Topology
+	Topo *topology.Topology
+	// Dumps holds the per-IRR dump text in the default in-memory mode.
+	// It is nil for universes built with GenerateStream, which write
+	// dump text straight to caller-provided sinks instead of holding
+	// ~the whole corpus in builders.
 	Dumps map[string]*strings.Builder
 	// Profiles records what was generated for each AS (ground truth
 	// for tests).
 	Profiles map[ir.ASN]*Profile
+
+	sinks map[string]*countingWriter
 }
+
+// countingWriter tracks bytes written and the first write error, so
+// streaming generation can report sizes and fail loudly at the end
+// rather than on every Fprintf.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return n, err
+}
+
+// sink returns the writer for one IRR's dump text.
+func (u *Universe) sink(name string) io.Writer { return u.sinks[name] }
 
 // Profile is the generated RPSL posture of one AS.
 type Profile struct {
@@ -158,20 +186,61 @@ type Profile struct {
 	RuleCount      int
 }
 
-// Generate builds the synthetic registry over a topology.
+// Generate builds the synthetic registry over a topology, holding the
+// dump text in memory (see DumpText).
 func Generate(topo *topology.Topology, cfg Config) *Universe {
-	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 	u := &Universe{
 		Topo:     topo,
 		Dumps:    make(map[string]*strings.Builder),
 		Profiles: make(map[ir.ASN]*Profile),
+		sinks:    make(map[string]*countingWriter),
 	}
 	for _, name := range IRRs {
 		u.Dumps[name] = &strings.Builder{}
-		fmt.Fprintf(u.Dumps[name], "%% synthetic IRR dump: %s\n\n", name)
+		u.sinks[name] = &countingWriter{w: u.Dumps[name]}
 	}
+	u.generate(topo, cfg)
+	return u
+}
 
+// GenerateStream builds the synthetic registry writing each IRR's dump
+// text straight to the writer open returns for it, in IRR priority
+// order — the large-corpus mode, where resident memory stays at the
+// bookkeeping (profiles, topology) instead of the full dump text.
+// Generation emits objects to the 13 registries interleaved, so the
+// sinks are all open for the whole run; the caller owns flush/close.
+// The returned universe has a nil Dumps map but working DumpSizes.
+// An open error aborts immediately; write errors are collected and the
+// first one per priority order is returned after generation finishes.
+func GenerateStream(topo *topology.Topology, cfg Config, open func(name string) (io.Writer, error)) (*Universe, error) {
+	u := &Universe{
+		Topo:     topo,
+		Profiles: make(map[ir.ASN]*Profile),
+		sinks:    make(map[string]*countingWriter),
+	}
+	for _, name := range IRRs {
+		w, err := open(name)
+		if err != nil {
+			return nil, err
+		}
+		u.sinks[name] = &countingWriter{w: w}
+	}
+	u.generate(topo, cfg)
+	for _, name := range IRRs {
+		if err := u.sinks[name].err; err != nil {
+			return nil, fmt.Errorf("irrgen: writing %s dump: %w", name, err)
+		}
+	}
+	return u, nil
+}
+
+// generate runs the emission passes over prepared sinks.
+func (u *Universe) generate(topo *topology.Topology, cfg Config) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	for _, name := range IRRs {
+		fmt.Fprintf(u.sink(name), "%% synthetic IRR dump: %s\n\n", name)
+	}
 	g := &generator{cfg: cfg, rng: rng, u: u, topo: topo}
 	g.assignProfiles()
 	g.emitAutNums()
@@ -181,17 +250,18 @@ func Generate(topo *topology.Topology, cfg Config) *Universe {
 	g.emitPeeringAndFilterSets()
 	g.emitPathologies()
 	g.emitSyntaxErrors()
-	return u
 }
 
-// DumpText returns the final dump text of one IRR.
+// DumpText returns the final dump text of one IRR. It is only
+// available in the in-memory mode; streamed universes have already
+// handed the text to their sinks.
 func (u *Universe) DumpText(name string) string { return u.Dumps[name].String() }
 
 // DumpSizes returns per-IRR dump sizes in bytes (for Table 1).
 func (u *Universe) DumpSizes() map[string]int64 {
-	out := make(map[string]int64, len(u.Dumps))
-	for name, b := range u.Dumps {
-		out[name] = int64(b.Len())
+	out := make(map[string]int64, len(u.sinks))
+	for name, cw := range u.sinks {
+		out[name] = cw.n
 	}
 	return out
 }
@@ -275,10 +345,10 @@ func (g *generator) assignProfiles() {
 // cross-IRR probability, a duplicate registry. The text must already
 // contain its source attribute placeholder %SOURCE%.
 func (g *generator) write(home, objText string) {
-	fmt.Fprintf(g.u.Dumps[home], "%s\n", strings.ReplaceAll(objText, "%SOURCE%", home))
+	fmt.Fprintf(g.u.sink(home), "%s\n", strings.ReplaceAll(objText, "%SOURCE%", home))
 	if g.rng.Float64() < g.cfg.CrossIRRFrac {
 		dup := g.secondIRR(home)
-		fmt.Fprintf(g.u.Dumps[dup], "%s\n", strings.ReplaceAll(objText, "%SOURCE%", dup))
+		fmt.Fprintf(g.u.sink(dup), "%s\n", strings.ReplaceAll(objText, "%SOURCE%", dup))
 	}
 }
 
@@ -558,7 +628,7 @@ func (g *generator) writeRoute(p prefix.Prefix, origin ir.ASN, irrName, mnt stri
 	fmt.Fprintf(&b, "descr:          synthetic route object\n")
 	fmt.Fprintf(&b, "mnt-by:         %s\n", mnt)
 	fmt.Fprintf(&b, "source:         %%SOURCE%%\n")
-	fmt.Fprintf(g.u.Dumps[irrName], "%s\n", strings.ReplaceAll(b.String(), "%SOURCE%", irrName))
+	fmt.Fprintf(g.u.sink(irrName), "%s\n", strings.ReplaceAll(b.String(), "%SOURCE%", irrName))
 }
 
 // emitRouteSets writes the route-sets assigned in the profiles (the
@@ -704,6 +774,6 @@ func (g *generator) emitSyntaxErrors() {
 			fmt.Fprintf(&b, "origin:         ASXYZ\n")
 			fmt.Fprintf(&b, "source:         %s\n", irrName)
 		}
-		fmt.Fprintf(g.u.Dumps[irrName], "%s\n", b.String())
+		fmt.Fprintf(g.u.sink(irrName), "%s\n", b.String())
 	}
 }

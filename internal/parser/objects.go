@@ -18,18 +18,48 @@ type Builder struct {
 	IR *ir.IR
 	// seenRoutes deduplicates identical (prefix, origin, source) tuples.
 	seenRoutes map[routeKey]bool
+	// flat, when non-nil, switches the Builder to flat emission: parsed
+	// objects append to these encounter-ordered lists instead of the IR
+	// maps, and no duplicate resolution happens (the IR maps stay empty,
+	// so the dup probes never fire). The chunk pipeline uses this mode —
+	// cross-chunk duplicates can only be resolved globally, so paying
+	// for chunk-local maps buys nothing.
+	flat *FlatObjects
 }
 
 type routeKey struct {
-	prefix string
+	prefix prefix.Prefix
 	origin ir.ASN
 	source string
+}
+
+// FlatObjects holds one chunk's parsed objects in encounter order,
+// without duplicate resolution. Errors and per-source class counts
+// still accumulate on the Builder's IR.
+type FlatObjects struct {
+	AutNums     []*ir.AutNum
+	AsSets      []*ir.AsSet
+	RouteSets   []*ir.RouteSet
+	PeeringSets []*ir.PeeringSet
+	FilterSets  []*ir.FilterSet
+	InetRtrs    []*ir.InetRtr
+	RtrSets     []*ir.RtrSet
+	Routes      []*ir.RouteObject
 }
 
 // NewBuilder creates a Builder over a fresh IR.
 func NewBuilder() *Builder {
 	return &Builder{IR: ir.New(), seenRoutes: make(map[routeKey]bool)}
 }
+
+// NewFlatBuilder creates a Builder in flat-emission mode; retrieve the
+// parsed objects with Flat.
+func NewFlatBuilder() *Builder {
+	return &Builder{IR: ir.New(), flat: &FlatObjects{}}
+}
+
+// Flat returns the flat-emission lists (nil for a regular Builder).
+func (b *Builder) Flat() *FlatObjects { return b.flat }
 
 // AddError records a parse error in the IR.
 func (b *Builder) AddError(obj *rpsl.Object, kind, format string, args ...any) {
@@ -129,6 +159,10 @@ func (b *Builder) addAutNum(obj *rpsl.Object) {
 			an.Defaults = append(an.Defaults, d)
 		}
 	}
+	if b.flat != nil {
+		b.flat.AutNums = append(b.flat.AutNums, an)
+		return
+	}
 	b.IR.AutNums[asn] = an
 }
 
@@ -163,6 +197,10 @@ func (b *Builder) addAsSet(obj *rpsl.Object) {
 			b.AddError(obj, "syntax", "bad as-set member %q", m)
 		}
 	}
+	if b.flat != nil {
+		b.flat.AsSets = append(b.flat.AsSets, set)
+		return
+	}
 	b.IR.AsSets[name] = set
 }
 
@@ -186,6 +224,10 @@ func (b *Builder) addRouteSet(obj *rpsl.Object) {
 			continue
 		}
 		set.Members = append(set.Members, member)
+	}
+	if b.flat != nil {
+		b.flat.RouteSets = append(b.flat.RouteSets, set)
+		return
 	}
 	b.IR.RouteSets[name] = set
 }
@@ -243,6 +285,10 @@ func (b *Builder) addPeeringSet(obj *rpsl.Object) {
 		}
 		set.Peerings = append(set.Peerings, p)
 	}
+	if b.flat != nil {
+		b.flat.PeeringSets = append(b.flat.PeeringSets, set)
+		return
+	}
 	b.IR.PeeringSets[name] = set
 }
 
@@ -269,6 +315,10 @@ func (b *Builder) addFilterSet(obj *rpsl.Object) {
 			f = unsupportedFilter(val)
 		}
 		set.Filter = f
+	}
+	if b.flat != nil {
+		b.flat.FilterSets = append(b.flat.FilterSets, set)
+		return
 	}
 	b.IR.FilterSets[name] = set
 }
@@ -297,18 +347,25 @@ func (b *Builder) addRoute(obj *rpsl.Object) {
 		b.AddError(obj, "syntax", "bad origin %q", originStr)
 		return
 	}
-	key := routeKey{p.String(), origin, obj.Source}
-	if b.seenRoutes[key] {
-		return
+	if b.flat == nil {
+		key := routeKey{p, origin, obj.Source}
+		if b.seenRoutes[key] {
+			return
+		}
+		b.seenRoutes[key] = true
 	}
-	b.seenRoutes[key] = true
-	b.IR.Routes = append(b.IR.Routes, &ir.RouteObject{
+	ro := &ir.RouteObject{
 		Prefix:    p,
 		Origin:    origin,
 		MemberOfs: splitList(strings.Join(obj.All("member-of"), ",")),
 		MntBys:    splitList(strings.Join(obj.All("mnt-by"), ",")),
 		Source:    obj.Source,
-	})
+	}
+	if b.flat != nil {
+		b.flat.Routes = append(b.flat.Routes, ro)
+		return
+	}
+	b.IR.Routes = append(b.IR.Routes, ro)
 }
 
 // splitList splits an RPSL list value on commas and whitespace,

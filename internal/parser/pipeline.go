@@ -26,10 +26,13 @@ type ChunkResult struct {
 	Seq       int
 	Source    string
 	DumpIndex int
-	// IR holds the chunk's objects with chunk-local duplicate
-	// resolution applied; IR.Errors holds the parse errors in encounter
-	// order.
+	// IR carries the chunk's parse errors (in encounter order) and
+	// per-source class counts; its object maps are empty — the parsed
+	// objects travel in Flat, unresolved, because duplicate resolution
+	// across chunks can only happen at the merge stage anyway.
 	IR *ir.IR
+	// Flat holds the chunk's parsed objects in encounter order.
+	Flat *FlatObjects
 	// Diags holds the chunk's reader diagnostics, already converted to
 	// parse errors.
 	Diags []ir.ParseError
@@ -148,9 +151,10 @@ func DefaultWorkers(n int) int {
 	return runtime.NumCPU()
 }
 
-// ParseChunk parses one chunk into a chunk-local partial IR.
+// ParseChunk parses one chunk into flat, encounter-ordered object
+// lists (plus errors and counts on the partial IR).
 func ParseChunk(c Chunk, seq, worker int) ChunkResult {
-	b := NewBuilder()
+	b := NewFlatBuilder()
 	r := rpsl.NewReaderAt(bytes.NewReader(c.Text), c.Source, c.FirstLine)
 	objects := 0
 	for obj := r.Next(); obj != nil; obj = r.Next() {
@@ -162,6 +166,7 @@ func ParseChunk(c Chunk, seq, worker int) ChunkResult {
 		Source:    c.Source,
 		DumpIndex: c.DumpIndex,
 		IR:        b.IR,
+		Flat:      b.Flat(),
 		Diags:     diagErrors(r.Diagnostics()),
 		Objects:   objects,
 		Bytes:     len(c.Text),

@@ -73,6 +73,10 @@ func (b *Builder) addInetRtr(obj *rpsl.Object) {
 	}
 	rtr.IfAddrs = obj.All("ifaddr")
 	rtr.Peers = append(obj.All("peer"), obj.All("mp-peer")...)
+	if b.flat != nil {
+		b.flat.InetRtrs = append(b.flat.InetRtrs, rtr)
+		return
+	}
 	b.IR.InetRtrs[name] = rtr
 }
 
@@ -88,5 +92,9 @@ func (b *Builder) addRtrSet(obj *rpsl.Object) {
 	set := &ir.RtrSet{Name: name, Source: obj.Source}
 	set.Members = splitList(strings.Join(obj.All("members"), ","))
 	set.Members = append(set.Members, splitList(strings.Join(obj.All("mp-members"), ","))...)
+	if b.flat != nil {
+		b.flat.RtrSets = append(b.flat.RtrSets, set)
+		return
+	}
 	b.IR.RtrSets[name] = set
 }

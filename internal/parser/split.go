@@ -55,7 +55,13 @@ func NewSplitter(r io.Reader, source string, dumpIndex, target int) *Splitter {
 	sc := bufio.NewScanner(r)
 	// Match rpsl.Reader's tolerance for enormous folded attribute lines.
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Splitter{scan: sc, source: source, dumpIndex: dumpIndex, target: target, startLine: 1}
+	// The first chunk's buffer starts at a fraction of the target:
+	// small dumps stay cheap, big dumps reach the target in a couple of
+	// doublings instead of a dozen.
+	return &Splitter{
+		scan: sc, source: source, dumpIndex: dumpIndex, target: target,
+		startLine: 1, buf: make([]byte, 0, target/8),
+	}
 }
 
 // isBlankLine reports whether the rpsl.Reader would treat the line as
@@ -111,6 +117,12 @@ func (s *Splitter) emit() Chunk {
 		Text:      s.buf,
 		FirstLine: s.startLine,
 	}
-	s.buf = nil
+	// Pre-size the next chunk's buffer from the one just emitted:
+	// growing from nil doubles through ~2 × target bytes of dead copies
+	// per chunk on big dumps, while a fixed target-sized buffer wastes
+	// most of its capacity on the many dumps smaller than one chunk.
+	// The just-emitted size predicts both cases well (a dump's final
+	// short chunk merely over-sizes once).
+	s.buf = make([]byte, 0, len(c.Text)+len(c.Text)/8)
 	return c
 }

@@ -1,0 +1,152 @@
+// Package shard defines the partition dimension the sharded core is
+// keyed by: a stable hash of the origin ASN. Route objects are
+// co-located with their origin's aut-num program, so every per-origin
+// structure (route tables, compiled programs, journal routing) lives
+// wholly inside one shard and cross-shard reads are exact single-shard
+// lookups, never merges. Only prefix-keyed queries (whois coverage
+// walks, OriginsOf) fan out and gather.
+//
+// The hash must be stable across processes and releases: NRTM journal
+// application on a mirror must route a route object to the same shard
+// the primary used when it built its snapshot, or the differential
+// guarantees (byte-identical output at any shard count) would silently
+// depend on build order.
+package shard
+
+import (
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/telemetry"
+)
+
+// Of maps an origin ASN to a shard index in [0, n). n <= 1 always
+// returns 0 (the unsharded fast path). The mixer is the splitmix64
+// finalizer — ASNs are assigned in dense runs per registry, so a
+// multiplicative mix is needed to keep consecutive ASNs from landing
+// on consecutive shards of a small modulus.
+func Of(asn ir.ASN, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(asn)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Counts tallies per-shard ownership for a route universe: it maps
+// every route's origin through Of and counts routes per shard.
+func Counts(origins []ir.ASN, n int) []int {
+	counts := make([]int, max(n, 1))
+	for _, o := range origins {
+		counts[Of(o, n)]++
+	}
+	return counts
+}
+
+// Imbalance is the load-balance figure of merit: the largest shard's
+// route count divided by the mean. 1.0 is a perfect split; the
+// verify.sh smoke holds the synthetic corpus under 2.0. Zero-route
+// universes report 1.0.
+func Imbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 1.0
+	}
+	total, peak := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(peak) / mean
+}
+
+// Metrics mirrors shard-plan figures into a telemetry registry.
+type Metrics struct {
+	routes    *telemetry.LabeledCounter
+	imbalance *telemetry.Gauge // imbalance x1000, integer gauge
+	shards    *telemetry.Gauge
+	fanout    *telemetry.Histogram
+}
+
+// NewMetrics registers the rpslyzer_shard_* metrics on a registry.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		routes: r.LabeledCounter("rpslyzer_shard_routes_total",
+			"Route objects owned by each shard at the last (re)build.", "shard"),
+		imbalance: r.Gauge("rpslyzer_shard_imbalance_millis",
+			"Peak-to-mean shard route imbalance x1000 (1000 = perfectly even)."),
+		shards: r.Gauge("rpslyzer_shard_count",
+			"Number of shards the database and verifier are partitioned into."),
+		fanout: r.Histogram("rpslyzer_shard_fanout_seconds",
+			"Latency of scatter-gather reads that fan out across shards.",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}),
+	}
+}
+
+// ObservePlan records a shard plan: per-shard route counts and the
+// derived imbalance gauge.
+func (m *Metrics) ObservePlan(counts []int) {
+	if m == nil {
+		return
+	}
+	m.shards.Set(int64(len(counts)))
+	for s, c := range counts {
+		// LabeledCounter is monotonic; record the delta since the last
+		// plan so the exposed value tracks the current plan's count.
+		prev := m.routes.Value(shardLabel(s))
+		if d := int64(c) - prev; d > 0 {
+			m.routes.Add(shardLabel(s), d)
+		}
+	}
+	m.imbalance.Set(int64(Imbalance(counts) * 1000))
+}
+
+// ObserveFanout records one scatter-gather read's wall time in seconds.
+func (m *Metrics) ObserveFanout(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.fanout.Observe(seconds)
+}
+
+func shardLabel(s int) string {
+	// Shard counts are small (GOMAXPROCS-scale); avoid strconv on the
+	// observe path for the common range.
+	if s >= 0 && s < len(smallLabels) {
+		return smallLabels[s]
+	}
+	return itoa(s)
+}
+
+var smallLabels = [...]string{
+	"0", "1", "2", "3", "4", "5", "6", "7",
+	"8", "9", "10", "11", "12", "13", "14", "15",
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

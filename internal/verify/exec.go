@@ -47,7 +47,19 @@ func (v *Verifier) program(an *ir.AutNum) *autnumProg {
 // direction, mirroring the interpreter's rule loop: earliest status on
 // the ladder wins, Verified short-circuits, diagnostics accumulate.
 func (v *Verifier) execAutNum(an *ir.AutNum, ctx *evalCtx) (Status, []Reason) {
-	prog := v.program(an)
+	// The arena memoizes the last program looked up: consecutive checks
+	// share their self AS, so this skips half the cache-map loads. Keyed
+	// by the aut-num pointer, so a database swap can never alias.
+	var prog *autnumProg
+	if a := ctx.arena; a != nil && a.lastProgAN == an {
+		prog = a.lastProg
+		v.metrics.programCacheHit()
+	} else {
+		prog = v.program(an)
+		if a != nil {
+			a.lastProgAN, a.lastProg = an, prog
+		}
+	}
 	progs := prog.imports
 	if ctx.dir == ir.DirExport {
 		progs = prog.exports

@@ -71,7 +71,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 
 // SetMetrics attaches metrics to the verifier. Call before verification
 // starts; the verifier reads the pointer without synchronization.
-func (v *Verifier) SetMetrics(m *Metrics) { v.metrics = m }
+func (v *Verifier) SetMetrics(m *Metrics) {
+	v.metrics = m
+	for _, c := range v.children {
+		c.metrics = m
+	}
+}
 
 func (m *Metrics) routeSpan() telemetry.Span {
 	if m == nil {

@@ -101,12 +101,26 @@ func routeCacheKey(route bgpsim.Route) string {
 }
 
 func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
+	return v.verifyRouteCore(route, nil)
+}
+
+// verifyRouteCore verifies one route. With a nil arena it is the
+// legacy allocation path; with an arena (the sharded drivers) the
+// report's checks and reasons live in arena blocks and the per-route
+// scratch (deduped path, eval context) is reused across routes.
+func (v *Verifier) verifyRouteCore(route bgpsim.Route, a *reportArena) RouteReport {
 	rep := RouteReport{Route: route}
 	if route.HasASSet {
 		rep.Ignored = "as-set"
 		return rep
 	}
-	path := dedupePrepends(route.Path)
+	var path []ir.ASN
+	if a != nil {
+		a.path = dedupePrependsInto(a.path[:0], route.Path)
+		path = a.path
+	} else {
+		path = dedupePrepends(route.Path)
+	}
 	if len(path) <= 1 {
 		rep.Ignored = "single-as"
 		return rep
@@ -116,11 +130,84 @@ func (v *Verifier) verifyRouteUncached(route bgpsim.Route) RouteReport {
 	// everything it keeps out of it (dedupReasons), so mutating the
 	// pair fields between checks is safe and avoids per-check
 	// allocations.
-	ctx := &evalCtx{
-		pfx: route.Prefix, origin: origin, communities: route.Communities,
+	var ctx *evalCtx
+	if a != nil {
+		ctx = &a.ctx
+		*ctx = evalCtx{
+			pfx: route.Prefix, origin: origin, communities: route.Communities,
+			scratch: ctx.scratch, arena: a,
+		}
+		rep.Checks = a.checkSlice(2 * (len(path) - 1))
+	} else {
+		ctx = &evalCtx{
+			pfx: route.Prefix, origin: origin, communities: route.Communities,
+		}
 	}
 	// Walk pairs from the origin side: exporter path[i+1] hands the
 	// route to importer path[i].
+	if a != nil {
+		// Arena path: the check count is known up front, so checks are
+		// evaluated straight into their report slots, and pairs whose
+		// (prefix, communities, suffix) key was already evaluated this
+		// driver call are copied from the memo instead of re-run. The
+		// key grows origin-side first, matching the walk order, so each
+		// pair costs one append plus one map probe (the string(key)
+		// lookup does not allocate; only inserts do).
+		if a.pairs == nil {
+			a.pairs = make(map[string][2]Check, 4096)
+		}
+		// Key layout: family tag, address (4 or 16 bytes), mask bits,
+		// community count, communities, then the path suffix origin
+		// first. Fixed field widths per tag keep the encoding bijective;
+		// IPv4 keys skip the 12 constant mapped-address bytes so the key
+		// hash stays cheap.
+		key := a.key[:0]
+		if addr := route.Prefix.Addr(); addr.Is4() {
+			a4 := addr.As4()
+			key = append(key, 4)
+			key = append(key, a4[:]...)
+		} else {
+			a16 := addr.As16()
+			key = append(key, 16)
+			key = append(key, a16[:]...)
+		}
+		nc := len(route.Communities)
+		key = append(key, byte(route.Prefix.Bits()), byte(nc), byte(nc>>8))
+		for _, cm := range route.Communities {
+			key = appendASNKey(key, ir.ASN(cm))
+		}
+		key = appendASNKey(key, origin)
+		k := 0
+		for i := len(path) - 2; i >= 0; i-- {
+			key = appendASNKey(key, path[i])
+			if cc, ok := a.pairs[string(key)]; ok {
+				rep.Checks[k] = cc[0]
+				rep.Checks[k+1] = cc[1]
+				// Keep the status counters exact; the per-check latency
+				// spans are skipped, as with the route cache.
+				v.metrics.observeCheck(cc[0].Status)
+				v.metrics.observeCheck(cc[1].Status)
+				k += 2
+				continue
+			}
+			exporter, importer := path[i+1], path[i]
+			var prevAS ir.ASN
+			if i+2 < len(path) {
+				prevAS = path[i+2]
+			}
+			ctx.path = path[i+1:]
+			ctx.self, ctx.peer, ctx.dir, ctx.prevAS = exporter, importer, ir.DirExport, prevAS
+			v.checkInto(ctx, &rep.Checks[k])
+			ctx.self, ctx.peer, ctx.dir, ctx.prevAS = importer, exporter, ir.DirImport, exporter
+			v.checkInto(ctx, &rep.Checks[k+1])
+			if len(a.pairs) < pairCacheLimit {
+				a.pairs[string(key)] = [2]Check{rep.Checks[k], rep.Checks[k+1]}
+			}
+			k += 2
+		}
+		a.key = key
+		return rep
+	}
 	for i := len(path) - 2; i >= 0; i-- {
 		exporter, importer := path[i+1], path[i]
 		// prevAS: where the exporter got the route from.
@@ -199,39 +286,66 @@ func (v *Verifier) PatchRoute(route bgpsim.Route, old RouteReport, dirty map[ir.
 // check runs one import or export check for an AS pair, recording its
 // latency and outcome in the attached metrics.
 func (v *Verifier) check(ctx *evalCtx) Check {
-	sp := v.metrics.checkSpan()
-	c := v.evalCheck(ctx)
-	sp.End()
-	v.metrics.observeCheck(c.Status)
+	var c Check
+	v.checkInto(ctx, &c)
 	return c
 }
 
+// checkInto is check writing the result in place (the arena path's
+// reports are filled slot by slot to avoid copying Check values).
+func (v *Verifier) checkInto(ctx *evalCtx, c *Check) {
+	sp := v.metrics.checkSpan()
+	v.evalCheck(ctx, c)
+	sp.End()
+	v.metrics.observeCheck(c.Status)
+}
+
 // evalCheck runs one import or export check for an AS pair, applying
-// the full classification ladder.
-func (v *Verifier) evalCheck(ctx *evalCtx) Check {
-	c := Check{Dir: ctx.dir}
+// the full classification ladder, writing into c.
+func (v *Verifier) evalCheck(ctx *evalCtx, c *Check) {
+	*c = Check{Dir: ctx.dir}
 	if ctx.dir == ir.DirExport {
 		c.From, c.To = ctx.self, ctx.peer
 	} else {
 		c.From, c.To = ctx.peer, ctx.self
 	}
 
-	an, ok := v.DB.AutNum(ctx.self)
+	// The pair walk evaluates each AS as self twice in a row (importer
+	// of one pair, exporter of the next), so a 1-entry memo on the
+	// arena halves the aut-num map lookups.
+	var an *ir.AutNum
+	var ok bool
+	if a := ctx.arena; a != nil && a.lastSeen && a.lastSelf == ctx.self {
+		an, ok = a.lastAN, a.lastOK
+	} else {
+		an, ok = v.DB.AutNum(ctx.self)
+		if a != nil {
+			a.lastSeen, a.lastSelf, a.lastAN, a.lastOK = true, ctx.self, an, ok
+		}
+	}
 	if !ok {
 		c.Status = Unrecorded
-		c.Reasons = []Reason{{Kind: UnrecordedAutNum, ASN: ctx.self}}
-		return c
+		if ctx.arena != nil {
+			c.Reasons = ctx.arena.one(Reason{Kind: UnrecordedAutNum, ASN: ctx.self})
+		} else {
+			c.Reasons = []Reason{{Kind: UnrecordedAutNum, ASN: ctx.self}}
+		}
+		return
 	}
 	rules := an.Imports
 	if ctx.dir == ir.DirExport {
 		rules = an.Exports
 	}
 	if len(rules) == 0 {
-		c.Status = v.safelist(ctx, Unrecorded, &c)
+		c.Status = v.safelist(ctx, Unrecorded, c)
 		if c.Status == Unrecorded {
-			c.Reasons = append(c.Reasons, Reason{Kind: UnrecordedNoRules})
+			if ctx.arena != nil {
+				c.Reasons = ctx.arena.one(Reason{Kind: UnrecordedNoRules})
+			} else {
+				c.Reasons = append(c.Reasons, Reason{Kind: UnrecordedNoRules})
+			}
 		}
-		return c
+		return
 	}
 
 	var best Status
@@ -243,20 +357,27 @@ func (v *Verifier) evalCheck(ctx *evalCtx) Check {
 	}
 	if best == Verified {
 		c.Status = Verified
-		return c
+		return
 	}
 	// Safelist checks only improve on Unverified (the ladder places
 	// them after Relaxed).
 	if best == Unverified {
-		best = v.safelist(ctx, best, &c)
+		best = v.safelist(ctx, best, c)
 	}
 	c.Status = best
+	if a := ctx.arena; a != nil {
+		if best != Verified && best != Safelisted {
+			c.Reasons = a.dedupReasons(reasons, nil)
+		} else if best == Safelisted {
+			c.Reasons = a.dedupReasons(reasons, c.Reasons)
+		}
+		return
+	}
 	if best != Verified && best != Safelisted {
 		c.Reasons = dedupReasons(reasons)
 	} else if best == Safelisted {
 		c.Reasons = append(dedupReasons(reasons), c.Reasons...)
 	}
-	return c
 }
 
 // safelist applies the Section 5.1.2 safelisted-relationship checks in
@@ -310,7 +431,12 @@ func (v *Verifier) safelist(ctx *evalCtx, fallback Status, c *Check) Status {
 
 // dedupePrepends removes consecutive duplicate ASes.
 func dedupePrepends(p []ir.ASN) []ir.ASN {
-	out := make([]ir.ASN, 0, len(p))
+	return dedupePrependsInto(make([]ir.ASN, 0, len(p)), p)
+}
+
+// dedupePrependsInto is dedupePrepends appending into a caller-owned
+// buffer (the arena path reuses one across routes).
+func dedupePrependsInto(out, p []ir.ASN) []ir.ASN {
 	for i, a := range p {
 		if i > 0 && a == p[i-1] {
 			continue
@@ -345,7 +471,13 @@ func dedupReasons(rs []Reason) []Reason {
 
 // VerifyAll verifies routes concurrently with the given number of
 // workers (0 means GOMAXPROCS) and returns reports in input order.
+// With Config.Shards > 1 routes instead scatter to per-shard child
+// verifiers (one goroutine and report arena per shard); the workers
+// argument is ignored on that path.
 func (v *Verifier) VerifyAll(routes []bgpsim.Route, workers int) []RouteReport {
+	if len(v.children) > 0 {
+		return v.verifyAllSharded(routes)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -382,6 +514,10 @@ func (v *Verifier) VerifyAll(routes []bgpsim.Route, workers int) []RouteReport {
 // sink must be safe for the caller's use (VerifyStream serializes
 // calls to it).
 func (v *Verifier) VerifyStream(routes []bgpsim.Route, workers int, sink func(RouteReport)) {
+	if len(v.children) > 0 {
+		v.verifyStreamSharded(routes, sink)
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

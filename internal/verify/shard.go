@@ -1,0 +1,276 @@
+package verify
+
+import (
+	"sync"
+	"time"
+
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/shard"
+)
+
+// This file implements the sharded bulk drivers: VerifyAll and
+// VerifyStream scatter routes to per-shard child verifiers by the
+// stable origin-AS hash (the same partition the sharded irr.Database
+// uses, so a shard's origin checks hit its home route part), verify
+// each shard's routes on a dedicated goroutine, and gather reports
+// back in input order. Each shard accumulates checks and reasons in a
+// reportArena — big flat blocks the reports subslice — instead of the
+// legacy path's per-check allocations; on paper-scale corpora that is
+// the difference between millions of small GC-scanned objects and a
+// few thousand block allocations.
+
+// reportArena is a per-shard (single-goroutine) allocator for report
+// memory. Checks and reasons are handed out as subslices of chunked
+// blocks; blocks are never reused, so the subslices stay valid for the
+// life of the reports that reference them. The arena also carries the
+// per-route scratch (deduped path, eval context) so the whole
+// verification loop of a shard allocates only when a block fills.
+type reportArena struct {
+	checks  []Check
+	reasons []Reason
+	path    []ir.ASN // dedupePrepends scratch
+	ctx     evalCtx  // reused route context
+
+	// 1-entry aut-num memo: the pair walk evaluates each AS as self
+	// twice in a row, and origins repeat heavily within a shard.
+	lastSeen bool
+	lastSelf ir.ASN
+	lastAN   *ir.AutNum
+	lastOK   bool
+
+	// 1-entry compiled-program memo, keyed by aut-num pointer.
+	lastProgAN *ir.AutNum
+	lastProg   *autnumProg
+
+	// pairs memoizes evaluated check pairs by (prefix, communities,
+	// path suffix). A pair's evaluation context never reads anything
+	// closer to the collector than the importer, so routes that share
+	// an origin-side suffix — the common case when several collectors
+	// observe the same announcement — share their checks verbatim.
+	// Cached Check values alias arena-backed Reasons; reports are
+	// read-only downstream, so sharing is safe (the route cache shares
+	// whole reports the same way). The map lives for one driver call,
+	// so database swaps between incremental batches can never serve
+	// stale checks.
+	pairs map[string][2]Check
+	key   []byte // pair-key scratch
+}
+
+const (
+	arenaCheckBlock  = 4096
+	arenaReasonBlock = 4096
+	// pairCacheLimit bounds the suffix memo: past this many entries the
+	// arena keeps serving hits but stops inserting, so a pathological
+	// corpus (no suffix sharing) cannot grow the map without bound.
+	pairCacheLimit = 1 << 20
+)
+
+// appendASNKey appends a little-endian ASN to a pair-memo key.
+func appendASNKey(b []byte, a ir.ASN) []byte {
+	return append(b, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+}
+
+// checkSlice returns a length-n slice backed by the arena; the caller
+// fills the slots in place.
+func (a *reportArena) checkSlice(n int) []Check {
+	if len(a.checks)+n > cap(a.checks) {
+		a.checks = make([]Check, 0, max(arenaCheckBlock, n))
+	}
+	off := len(a.checks)
+	a.checks = a.checks[:off+n]
+	return a.checks[off : off+n : off+n]
+}
+
+// reasonSlice returns a length-n slice backed by the arena for the
+// caller to fill.
+func (a *reportArena) reasonSlice(n int) []Reason {
+	if len(a.reasons)+n > cap(a.reasons) {
+		a.reasons = make([]Reason, 0, max(arenaReasonBlock, n))
+	}
+	off := len(a.reasons)
+	a.reasons = a.reasons[:off+n]
+	return a.reasons[off : off+n : off+n]
+}
+
+// one stores a single reason in the arena.
+func (a *reportArena) one(r Reason) []Reason {
+	out := a.reasonSlice(1)
+	out[0] = r
+	return out
+}
+
+// dedupReasons is the arena counterpart of the package-level
+// dedupReasons: it deduplicates rs in place — safe because evalCheck
+// only ever passes it the context's scratch aggregate or a private
+// allocation, never a compile-time constant slice — then copies the
+// result followed by extra into arena storage. The output content is
+// identical to append(dedupReasons(rs), extra...).
+func (a *reportArena) dedupReasons(rs, extra []Reason) []Reason {
+	if len(rs) == 0 {
+		if len(extra) == 0 {
+			return nil
+		}
+		out := a.reasonSlice(len(extra))
+		copy(out, extra)
+		return out
+	}
+	d := rs[:1]
+	if len(rs) > 1 {
+		sortReasons(rs)
+		for _, r := range rs[1:] {
+			if r != d[len(d)-1] {
+				d = append(d, r)
+			}
+		}
+	}
+	out := a.reasonSlice(len(d) + len(extra))
+	copy(out, d)
+	copy(out[len(d):], extra)
+	return out
+}
+
+// routeShard maps a route to the shard owning its origin AS. The
+// origin is the last path element even before prepend deduplication,
+// so no allocation is needed to route.
+func routeShard(r *bgpsim.Route, n int) int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return shard.Of(r.Path[len(r.Path)-1], n)
+}
+
+// verifyAllSharded is the Config.Shards > 1 VerifyAll: scatter by
+// origin shard, verify per shard with a private child verifier and
+// arena, gather by input index.
+func (v *Verifier) verifyAllSharded(routes []bgpsim.Route) []RouteReport {
+	t0 := time.Now()
+	n := len(v.children)
+	// Resync the children's snapshot pointer: Incremental rebinds v.DB
+	// between batches.
+	for _, c := range v.children {
+		c.DB = v.DB
+	}
+	buckets := make([][]int32, n)
+	for i := range routes {
+		s := routeShard(&routes[i], n)
+		buckets[s] = append(buckets[s], int32(i))
+	}
+	reports := make([]RouteReport, len(routes))
+	var wg sync.WaitGroup
+	for s, idxs := range buckets {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int32) {
+			defer wg.Done()
+			child := v.children[s]
+			a := &reportArena{}
+			for _, i := range idxs {
+				reports[i] = child.verifyRouteArena(routes[i], a)
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	v.shardMetrics.ObserveFanout(time.Since(t0).Seconds())
+	return reports
+}
+
+// verifyStreamSharded is the Config.Shards > 1 VerifyStream: routes
+// fan out to per-shard workers, reports stream to the sink as they
+// finish (arbitrary order, sink calls serialized), matching the
+// unsharded contract.
+func (v *Verifier) verifyStreamSharded(routes []bgpsim.Route, sink func(RouteReport)) {
+	t0 := time.Now()
+	n := len(v.children)
+	for _, c := range v.children {
+		c.DB = v.DB
+	}
+	ins := make([]chan bgpsim.Route, n)
+	out := make(chan RouteReport, n*4)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		ins[s] = make(chan bgpsim.Route, 64)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			child := v.children[s]
+			a := &reportArena{}
+			for r := range ins[s] {
+				out <- child.verifyRouteArena(r, a)
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rep := range out {
+			sink(rep)
+		}
+	}()
+	for i := range routes {
+		ins[routeShard(&routes[i], n)] <- routes[i]
+	}
+	for _, ch := range ins {
+		close(ch)
+	}
+	wg.Wait()
+	close(out)
+	<-done
+	v.shardMetrics.ObserveFanout(time.Since(t0).Seconds())
+}
+
+// verifyRouteArena is VerifyRoute with arena-backed report memory,
+// including the tracing/profiling/caching envelope of the public
+// entry point. Must be called from one goroutine per arena.
+func (v *Verifier) verifyRouteArena(route bgpsim.Route, a *reportArena) RouteReport {
+	if v.profiler == nil && v.tracer == nil {
+		return v.verifyRouteMeteredArena(route, a)
+	}
+	tsp := v.tracer.Start("verify", "verify-route")
+	sampled := v.profiler.sampleRoute()
+	if tsp == nil && !sampled {
+		return v.verifyRouteMeteredArena(route, a)
+	}
+	t0 := time.Now()
+	rep := v.verifyRouteMeteredArena(route, a)
+	d := time.Since(t0)
+	if sampled {
+		v.profiler.observeRoute(&route, &rep, d)
+	}
+	if tsp != nil {
+		tsp.Set("prefix", route.Prefix.String()).
+			SetInt("path_len", int64(len(route.Path))).
+			SetInt("checks", int64(len(rep.Checks)))
+		if rep.Ignored != "" {
+			tsp.Set("ignored", rep.Ignored)
+		}
+		tsp.End()
+	}
+	return rep
+}
+
+func (v *Verifier) verifyRouteMeteredArena(route bgpsim.Route, a *reportArena) RouteReport {
+	sp := v.metrics.routeSpan()
+	defer sp.End()
+	if v.cfg.EnableRouteCache {
+		key := routeCacheKey(route)
+		if cached, ok := v.routeCache.Load(key); ok {
+			v.cacheHits.Add(1)
+			v.metrics.cacheHit()
+			rep := cached.(RouteReport)
+			rep.Route = route
+			v.metrics.observeRoute(&rep)
+			return rep
+		}
+		v.metrics.cacheMiss()
+		rep := v.verifyRouteCore(route, a)
+		v.routeCache.Store(key, rep)
+		v.metrics.observeRoute(&rep)
+		return rep
+	}
+	rep := v.verifyRouteCore(route, a)
+	v.metrics.observeRoute(&rep)
+	return rep
+}

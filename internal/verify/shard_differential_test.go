@@ -1,0 +1,106 @@
+// Differential tests for the sharded scatter-gather drivers: with
+// Config.Shards = N (any N) VerifyAll and VerifyStream must produce
+// byte-identical reports to the unsharded engine over the full
+// synthetic corpus — same checks, same reason order, same JSONL.
+package verify_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"rpslyzer/internal/report"
+	"rpslyzer/internal/verify"
+)
+
+func diffShards(t *testing.T, cfg verify.Config, shards int) {
+	sys, routes := diffCorpus(t)
+
+	baseCfg := cfg
+	baseCfg.Shards = 0
+	shardCfg := cfg
+	shardCfg.Shards = shards
+	base := verify.New(sys.DB, sys.Rels, baseCfg)
+	sharded := verify.New(sys.DB, sys.Rels, shardCfg)
+	if sharded.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", sharded.Shards(), shards)
+	}
+
+	want := base.VerifyAll(routes, 0)
+	got := sharded.VerifyAll(routes, 0)
+	if len(got) != len(want) {
+		t.Fatalf("report counts differ: sharded %d, unsharded %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range got {
+		g, w := renderReport(got[i]), renderReport(want[i])
+		if g != w {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("route %s path %v:\nshards=%d:\n%s\nshards=1:\n%s",
+					routes[i].Prefix, routes[i].Path, shards, g, w)
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d/%d reports differ between shards=%d and unsharded", mismatches, len(got), shards)
+	}
+
+	// The JSONL export (what cmd/verify -json and the report store
+	// consume) must match byte for byte.
+	var wantJSON, gotJSON bytes.Buffer
+	if err := report.WriteJSONL(&wantJSON, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteJSONL(&gotJSON, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+		t.Fatalf("JSONL differs between shards=%d and unsharded", shards)
+	}
+
+	// VerifyStream delivers the same set of reports (arbitrary order).
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	sharded2 := verify.New(sys.DB, sys.Rels, shardCfg)
+	sharded2.VerifyStream(routes, 0, func(rep verify.RouteReport) {
+		mu.Lock()
+		seen[rep.Route.Prefix.String()+"|"+renderReport(rep)]++
+		mu.Unlock()
+	})
+	for _, rep := range want {
+		key := rep.Route.Prefix.String() + "|" + renderReport(rep)
+		if seen[key] == 0 {
+			t.Fatalf("VerifyStream shards=%d missing report for %s", shards, rep.Route.Prefix)
+		}
+		seen[key]--
+	}
+	for key, nleft := range seen {
+		if nleft != 0 {
+			t.Fatalf("VerifyStream shards=%d produced %d extra reports for %q", shards, nleft, key)
+		}
+	}
+}
+
+func TestShardedMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus differential test")
+	}
+	for _, n := range []int{2, 4, 7, 8} {
+		diffShards(t, verify.Config{}, n)
+	}
+}
+
+func TestShardedMatchesUnshardedRouteCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus differential test")
+	}
+	diffShards(t, verify.Config{EnableRouteCache: true}, 4)
+}
+
+func TestShardedMatchesUnshardedStrict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus differential test")
+	}
+	diffShards(t, verify.Config{Strict: true}, 3)
+}

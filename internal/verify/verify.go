@@ -19,6 +19,7 @@ import (
 	"rpslyzer/internal/depgraph"
 	"rpslyzer/internal/ir"
 	"rpslyzer/internal/irr"
+	"rpslyzer/internal/shard"
 	"rpslyzer/internal/trace"
 )
 
@@ -261,6 +262,15 @@ type Config struct {
 	// genuine route leaks (see examples/leakdetect); strict mode is
 	// the filter-generation view of the data.
 	Strict bool
+	// Shards partitions the bulk drivers (VerifyAll, VerifyStream):
+	// routes scatter to per-shard child verifiers by a stable hash of
+	// their origin AS, each child owning its program/regex/cone caches
+	// and an arena-backed report accumulator, and reports gather back
+	// in input order. Reports are byte-identical at any shard count.
+	// <= 1 (the default) keeps the single unsharded engine with its
+	// original allocation behavior. Single-route entry points
+	// (VerifyRoute, PatchRoute) always use the parent engine.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -320,12 +330,33 @@ type Verifier struct {
 	// keys so Incremental can invalidate programs selectively (set with
 	// SetDepGraph).
 	graph *depgraph.Graph
+
+	// children are the per-shard verifiers the scatter-gather drivers
+	// dispatch to when Config.Shards > 1; nil otherwise. Children share
+	// DB, Rels, the onlyProviderPolicies map, and every attached
+	// observer, but own their program/regex/cone/route caches.
+	children []*Verifier
+
+	// shardMetrics, when non-nil, records scatter-gather fan-out
+	// latency (set with SetShardMetrics).
+	shardMetrics *shard.Metrics
 }
 
 // SetDepGraph attaches a dependency graph: every program compiled from
 // now on registers the objects it resolved. Attach it before the first
 // verification — programs compiled earlier have no recorded edges.
-func (v *Verifier) SetDepGraph(g *depgraph.Graph) { v.graph = g }
+func (v *Verifier) SetDepGraph(g *depgraph.Graph) {
+	v.graph = g
+	for _, c := range v.children {
+		c.graph = g
+	}
+}
+
+// SetShardMetrics attaches the rpslyzer_shard_* fan-out histogram.
+func (v *Verifier) SetShardMetrics(m *shard.Metrics) { v.shardMetrics = m }
+
+// Shards returns the configured shard count (minimum 1).
+func (v *Verifier) Shards() int { return max(1, len(v.children)) }
 
 // New creates a Verifier.
 func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
@@ -339,6 +370,26 @@ func New(db *irr.Database, rels *asrel.Database, cfg Config) *Verifier {
 		coneCache:  make(map[ir.ASN]map[ir.ASN]bool),
 	}
 	v.precomputeOnlyProviderPolicies()
+	if cfg.Shards > 1 {
+		childCfg := cfg
+		childCfg.Shards = 0
+		v.children = make([]*Verifier, cfg.Shards)
+		for i := range v.children {
+			c := &Verifier{
+				DB:         db,
+				Rels:       rels,
+				cfg:        childCfg,
+				useInterp:  v.useInterp,
+				regexCache: make(map[*ir.PathRegex]*asregex.Regex),
+				coneCache:  make(map[ir.ASN]map[ir.ASN]bool),
+			}
+			// Shared by pointer: the Only Provider Policies property is
+			// global, and Incremental's refresh must be visible to every
+			// shard.
+			c.onlyProviderPolicies = v.onlyProviderPolicies
+			v.children[i] = c
+		}
+	}
 	return v
 }
 

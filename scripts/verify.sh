@@ -8,26 +8,32 @@
 #   5. the same tests under the race detector — the ingestion pipeline
 #      and the verifier's caches are concurrent, so a green run here is
 #      part of the contract, not an extra
-#   6. bench smoke — one iteration of the ingestion benchmark, written
-#      to BENCH_ingest.json so perf regressions leave a paper trail
+#   6. bench smoke — the ingestion benchmark (3 counts of 1 iteration),
+#      written to BENCH_ingest.json so perf regressions leave a paper
+#      trail; gates the parallel pipeline against the sequential loader
+#      (adaptive to the host's CPU count) and the ingest heap cost in
+#      bytes per route object
 #   7. NRTM bench smoke — journal apply vs full reparse, written to
 #      BENCH_nrtm.json
-#   8. verify bench smoke — compiled vs interpreted VerifyAll plus the
-#      radix OriginsOf lookup, written to BENCH_verify.json
-#   9. mirror smoke — generate a universe plus 3 evolution steps of
+#   8. verify bench smoke — compiled vs interpreted vs sharded
+#      VerifyAll plus the radix OriginsOf lookup, written to
+#      BENCH_verify.json; gates tracing overhead (<= 5%), incremental
+#      re-verification speedup (>= 20x), the 8-shard sweep (>= 2x the
+#      single-shard engine), and the sharded sweep's retained heap in
+#      bytes per route
+#   9. shard smoke — the end-to-end shard-count invariance test (byte-
+#      identical verify/whois/API output at -shards=1/2/4/7) and the
+#      origin-hash imbalance bound (<= 2x), run by name for the record
+#  10. mirror smoke — generate a universe plus 3 evolution steps of
 #      journals, replay them with cmd/nrtm, and prove the mirrored
 #      database renders identically to the final snapshot's dumps
-#  10. API bench smoke — apiload in self-serve mode drives the report
+#  11. API bench smoke — apiload in self-serve mode drives the report
 #      API over both transports (in-process and loopback TCP), written
 #      to BENCH_api.json; the in-process cache-hit run must sustain
 #      >= 100k QPS
-#  11. trace smoke — reportd -mirror over the generated universe, driven
+#  12. trace smoke — reportd -mirror over the generated universe, driven
 #      by apiload, then scraped: /debug/trace/summary answers, /metrics
 #      exposes rpslyzer_build_info, and /healthz reports healthy
-#
-# The verify bench smoke also gates observability overhead: the traced
-# VerifyAll run (reportd's default sampling plus the heavy-hitter
-# profiler) must stay within 5% of the untraced compiled run.
 #
 # Usage: scripts/verify.sh [package-pattern]   (default ./...)
 set -eu
@@ -54,9 +60,33 @@ go test "$pkgs"
 echo "== go test -race $pkgs"
 go test -race "$pkgs"
 
-echo "== bench smoke (BenchmarkLoadDumpDir, 1x)"
-go test -run '^$' -bench '^BenchmarkLoadDumpDir$' -benchtime 1x -json . > BENCH_ingest.json
+echo "== bench smoke (BenchmarkLoadDumpDir, 1x, count 3)"
+go test -run '^$' -bench '^BenchmarkLoadDumpDir$' -benchtime 1x -count 3 -json . > BENCH_ingest.json
 grep -q '"Action":"pass"' BENCH_ingest.json
+# Parallel-ingest gate, adaptive to the host: with real cores the
+# 8-worker pipeline must beat the sequential loader outright; on a
+# single CPU it does strictly more work (chunking, demux, k-way merge)
+# than the sequential loader can avoid, so the gate instead caps its
+# overhead at 25%. min-of-3 on both sides.
+seq_ns=$(grep '"Test":"BenchmarkLoadDumpDir/sequential"' BENCH_ingest.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+par_ns=$(grep '"Test":"BenchmarkLoadDumpDir/workers-8"' BENCH_ingest.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+[ -n "$seq_ns" ] && [ -n "$par_ns" ]
+ncpu=$(nproc 2>/dev/null || echo 1)
+echo "ingest ns/op: sequential=$seq_ns workers-8=$par_ns (ncpu=$ncpu)"
+if [ "$ncpu" -gt 1 ]; then
+    awk "BEGIN { speedup = $seq_ns / $par_ns; printf \"parallel ingest speedup: %.2fx\n\", speedup; exit !(speedup > 1.0) }"
+else
+    awk "BEGIN { ratio = $par_ns / $seq_ns; printf \"parallel ingest overhead (1 CPU): %.1f%%\n\", 100 * (ratio - 1); exit !(ratio <= 1.25) }"
+fi
+# Ingest heap ceiling: the retained IR must stay under 400 live bytes
+# per route object and 3750 peak bytes per route (current numbers are
+# ~335 / ~3120; the ceilings leave the 20% regression headroom the
+# ISSUE mandates).
+ingest_live=$(grep '"Test":"BenchmarkLoadDumpDir/heap-sharded8"' BENCH_ingest.json | grep -o '[0-9][0-9.]* live-B/route' | awk '{print $1}' | sort -n | head -1)
+ingest_peak=$(grep '"Test":"BenchmarkLoadDumpDir/heap-sharded8"' BENCH_ingest.json | grep -o '[0-9][0-9.]* peak-B/route' | awk '{print $1}' | sort -n | head -1)
+[ -n "$ingest_live" ] && [ -n "$ingest_peak" ]
+echo "ingest heap B/route: live=$ingest_live peak=$ingest_peak"
+awk "BEGIN { exit !($ingest_live <= 400 && $ingest_peak <= 3750) }"
 
 echo "== NRTM bench smoke (BenchmarkApplyJournal vs BenchmarkFullReparse, 1x)"
 go test -run '^$' -bench '^(BenchmarkApplyJournal|BenchmarkFullReparse)$' -benchtime 1x -json . > BENCH_nrtm.json
@@ -81,6 +111,30 @@ reverify_ns=$(grep '"Test":"BenchmarkReverify"' BENCH_verify.json | grep -o '[0-
 [ -n "$reverify_ns" ]
 echo "Reverify ns/op: $reverify_ns (full VerifyAll: $base_ns)"
 awk "BEGIN { speedup = $base_ns / $reverify_ns; printf \"incremental speedup: %.1fx\n\", speedup; exit !(speedup >= 20) }"
+# Sharded-verifier gate: VerifyAll at 8 shards (arena-backed reports,
+# per-shard drivers) must be at least 2x the single-shard compiled
+# engine, even on this single-CPU host where the win is all layout and
+# memoization, not parallelism. min-of-3 on both sides.
+sharded_ns=$(grep '"Test":"BenchmarkVerifyAll/sharded8"' BENCH_verify.json | grep -o '[0-9][0-9]* ns/op' | awk '{print $1}' | sort -n | head -1)
+[ -n "$sharded_ns" ]
+echo "Sharded VerifyAll ns/op: $sharded_ns (single-shard: $base_ns)"
+awk "BEGIN { speedup = $base_ns / $sharded_ns; printf \"sharded speedup: %.2fx\n\", speedup; exit !(speedup >= 2.0) }"
+# Verifier heap gates: the sharded sweep's retained reports must stay
+# under the single-shard engine's bytes-per-route (the arena must keep
+# paying for itself) and under an absolute 770 live-B/route ceiling
+# (current ~640 plus the 20% regression headroom).
+heap_base=$(grep '"Test":"BenchmarkVerifyAll/heap-compiled"' BENCH_verify.json | grep -o '[0-9][0-9.]* live-B/route' | awk '{print $1}' | sort -n | head -1)
+heap_sharded=$(grep '"Test":"BenchmarkVerifyAll/heap-sharded8"' BENCH_verify.json | grep -o '[0-9][0-9.]* live-B/route' | awk '{print $1}' | sort -n | head -1)
+[ -n "$heap_base" ] && [ -n "$heap_sharded" ]
+echo "VerifyAll heap live-B/route: single-shard=$heap_base sharded8=$heap_sharded"
+awk "BEGIN { exit !($heap_sharded <= $heap_base && $heap_sharded <= 770) }"
+
+echo "== shard smoke (count invariance + imbalance bound)"
+# Re-run the two shard contracts by name so a verify.sh transcript
+# shows them explicitly: byte-identical output at -shards=1/2/4/7 and
+# origin-hash imbalance <= 2x on the standard corpus.
+shard_out=$(go test -run '^(TestShardCountInvarianceEndToEnd|TestShardImbalanceBounded)$' -v .)
+echo "$shard_out" | grep -E '^(--- PASS|ok)'
 
 echo "== mirror smoke (irrgen -evolve 3 + cmd/nrtm replay)"
 smoke=$(mktemp -d)

@@ -1,0 +1,275 @@
+// System-level contract of the sharded core: over the full 13-registry
+// synthetic corpus, the verify JSONL stream, every whois/irrd response,
+// and the report-store API bodies must be byte-identical at -shards=1,
+// 2, 4, and 7 — sharding is a layout choice, never a semantic one. A
+// second test races whois and API readers against per-shard journal
+// application (meaningful under -race, which scripts/verify.sh runs),
+// and a third holds the origin-hash imbalance on the corpus under 2x.
+package rpslyzer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"rpslyzer/internal/api"
+	"rpslyzer/internal/bgpsim"
+	"rpslyzer/internal/core"
+	"rpslyzer/internal/evolve"
+	"rpslyzer/internal/ir"
+	"rpslyzer/internal/irrgen"
+	"rpslyzer/internal/nrtm"
+	"rpslyzer/internal/reportstore"
+	"rpslyzer/internal/shard"
+	"rpslyzer/internal/verify"
+	"rpslyzer/internal/whois"
+)
+
+// buildShardedSystem builds the standard invariance corpus at one
+// shard count. Generation is independent of the shard setting, so
+// every call sees the same registry text and the same collected
+// routes; only the database/verifier partitioning differs.
+func buildShardedSystem(t *testing.T, shards int) (*core.System, []bgpsim.Route) {
+	t.Helper()
+	sys, err := core.BuildSynthetic(core.Options{Seed: 19, ASes: 200, Collectors: 3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DB.Shards(); got != max(1, shards) {
+		t.Fatalf("DB built with %d shards, want %d", got, max(1, shards))
+	}
+	routes := sys.CollectRoutes(3, 19)
+	if len(routes) == 0 {
+		t.Fatal("no routes collected")
+	}
+	return sys, routes
+}
+
+// whoisQueries assembles a query sweep covering every server code
+// path: aut-num renders, inverse-origin walks, per-origin route
+// tables (!g), set renders and flattened membership (!i,1), and
+// prefix searches in all four irrd modes plus plain coverage lookups.
+func whoisQueries(x *ir.IR) []string {
+	var qs []string
+	var asns []ir.ASN
+	for asn := range x.AutNums {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		qs = append(qs,
+			fmt.Sprintf("AS%d", uint32(asn)),
+			fmt.Sprintf("-i origin AS%d", uint32(asn)),
+			fmt.Sprintf("!gAS%d", uint32(asn)),
+		)
+	}
+	var sets []string
+	for name := range x.AsSets {
+		sets = append(sets, name)
+	}
+	sort.Strings(sets)
+	if len(sets) > 50 {
+		sets = sets[:50]
+	}
+	for _, name := range sets {
+		qs = append(qs, name, "!i"+name+",1")
+	}
+	seen := make(map[string]bool)
+	for _, r := range x.Routes {
+		p := r.Prefix.String()
+		if seen[p] || len(seen) >= 200 {
+			continue
+		}
+		seen[p] = true
+		qs = append(qs, p, "!r"+p, "!r"+p+",o", "!r"+p+",L", "!r"+p+",M")
+	}
+	return qs
+}
+
+// apiBodies renders the report-store responses the invariance check
+// compares: the summary plus a filtered report page.
+func apiBodies(t *testing.T, reports []verify.RouteReport) map[string]string {
+	t.Helper()
+	store := reportstore.New(nil)
+	b := reportstore.NewBuilder()
+	for _, rep := range reports {
+		b.Add(rep)
+	}
+	store.Swap(b.Build())
+	srv := api.NewServer(store, api.Config{}, nil)
+	out := make(map[string]string)
+	for _, path := range []string{
+		"/v1/summary",
+		"/v1/reports?status=unverified",
+		"/v1/reports?status=verified",
+	} {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: %d", path, rec.Code)
+		}
+		body := rec.Body.String()
+		if path == "/v1/summary" {
+			// The summary carries the snapshot's wall-clock build time;
+			// everything else must be invariant.
+			var m map[string]any
+			if err := json.Unmarshal([]byte(body), &m); err != nil {
+				t.Fatalf("GET %s: bad JSON: %v", path, err)
+			}
+			delete(m, "built_at")
+			norm, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body = string(norm)
+		}
+		out[path] = body
+	}
+	return out
+}
+
+func TestShardCountInvarianceEndToEnd(t *testing.T) {
+	base, routes := buildShardedSystem(t, 1)
+	baseReports := base.Verifier.VerifyAll(routes, 0)
+	baseJSONL := reportsJSONL(t, baseReports)
+	queries := whoisQueries(base.IR)
+	baseWhois := whois.NewServer(base.DB)
+	baseBodies := apiBodies(t, baseReports)
+
+	for _, shards := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			sys, rts := buildShardedSystem(t, shards)
+			reports := sys.Verifier.VerifyAll(rts, 0)
+			if got := reportsJSONL(t, reports); !bytes.Equal(got, baseJSONL) {
+				t.Errorf("verify JSONL diverged from shards=1:\n%s", firstJSONLDiff(got, baseJSONL))
+			}
+			srv := whois.NewServer(sys.DB)
+			for _, q := range queries {
+				if got, want := srv.Query(q), baseWhois.Query(q); got != want {
+					t.Fatalf("whois %q diverged from shards=1:\n got: %q\nwant: %q", q, got, want)
+				}
+			}
+			for path, body := range apiBodies(t, reports) {
+				if body != baseBodies[path] {
+					t.Errorf("API %s diverged from shards=1 (%d vs %d bytes)",
+						path, len(body), len(baseBodies[path]))
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentShardedJournalApplyDuringAPIReads races the reportd
+// publication pattern over a sharded database: journals apply to the
+// mirror (per-shard route index updates), the incremental engine
+// re-verifies with sharded drivers, the whois server hot-swaps, and
+// the report store swaps snapshots — all while whois and API readers
+// hammer the old snapshots.
+func TestConcurrentShardedJournalApplyDuringAPIReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency e2e")
+	}
+	sys, err := core.BuildSynthetic(core.Options{Seed: 23, ASes: 150, Collectors: 3, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := sys.CollectRoutes(3, 23)
+
+	mir := nrtm.NewMirrorDB(sys.DB, nil, nil)
+	inc, err := verify.NewIncremental(mir.DB(), sys.Rels, verify.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.Init(routes, 0)
+
+	store := reportstore.New(nil)
+	store.Swap(reportstore.BuildSnapshot(inc.Reports()))
+	apiSrv := api.NewServer(store, api.Config{}, nil)
+	whoisSrv := whois.NewServer(mir.DB())
+	whoisQ := whoisQueries(sys.IR)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			paths := []string{"/v1/summary", "/v1/reports?status=unverified", "/healthz"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				apiSrv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", paths[i%len(paths)], nil))
+				if rec.Code >= 500 {
+					t.Errorf("API returned %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if resp := whoisSrv.Query(whoisQ[i%len(whoisQ)]); resp == "" {
+				t.Error("whois returned empty response")
+				return
+			}
+		}
+	}()
+
+	cfg := irrgen.EvolveConfig{Seed: 23, PolicyChurnFrac: 0.02, SetChurnFrac: 0.02,
+		RouteAddFrac: 0.01, RouteWithdrawFrac: 0.01}
+	serials := make(map[string]uint64)
+	prev := sys.IR
+	for step := 1; step <= 6; step++ {
+		next := irrgen.Evolve(prev, step, cfg)
+		keys, err := mir.ApplyAllKeys(evolve.Compare(prev, next).ToJournals(prev, next, serials))
+		if err != nil {
+			t.Fatalf("step %d: apply: %v", step, err)
+		}
+		db := mir.DB()
+		if db.Shards() != 4 {
+			t.Fatalf("step %d: snapshot lost shard count: %d", step, db.Shards())
+		}
+		whoisSrv.SetDB(db)
+		inc.Reverify(db, keys, 2, nil)
+		store.Swap(reportstore.BuildSnapshot(inc.Reports()))
+		prev = next
+	}
+	close(stop)
+	readers.Wait()
+	if store.Swaps() < 7 {
+		t.Fatalf("expected 7 swaps, got %d", store.Swaps())
+	}
+}
+
+// TestShardImbalanceBounded is the load-balance smoke scripts/verify.sh
+// relies on: the splitmix64 origin hash must spread the synthetic
+// corpus's route objects across shards with a peak-to-mean ratio of at
+// most 2x at every shard count the tools default to.
+func TestShardImbalanceBounded(t *testing.T) {
+	sys, _ := buildShardedSystem(t, 1)
+	origins := make([]ir.ASN, 0, len(sys.IR.Routes))
+	for _, r := range sys.IR.Routes {
+		origins = append(origins, r.Origin)
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		counts := shard.Counts(origins, n)
+		if imb := shard.Imbalance(counts); imb > 2.0 {
+			t.Errorf("%d shards: imbalance %.2f > 2.0 (counts %v)", n, imb, counts)
+		}
+	}
+}
